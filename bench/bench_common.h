@@ -1,0 +1,161 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Scaling: the paper ran on a 20-core Xeon with a 960GB SSD, 300GB
+// datasets and up to 192GB memory components. These benches reproduce the
+// experiment SHAPES at laptop scale: an in-memory Env with a token-bucket
+// write throttle stands in for the SSD, datasets are ~10^5 keys, and
+// memory components are MBs. Every knob scales via environment variables:
+//
+//   FLODB_BENCH_SECONDS   seconds per data point        (default 1)
+//   FLODB_BENCH_THREADS   comma list of thread counts   (default "1,2,4")
+//   FLODB_BENCH_KEYS      key-space size                (default 100000)
+//   FLODB_BENCH_VALUE     value bytes                   (default 64)
+//   FLODB_BENCH_MEMORY    memory component bytes        (default 2097152)
+//   FLODB_BENCH_DISK_MBPS persistence bandwidth cap     (default 32)
+
+#ifndef FLODB_BENCH_BENCH_COMMON_H_
+#define FLODB_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flodb/baselines/hyperleveldb_like.h"
+#include "flodb/baselines/leveldb_like.h"
+#include "flodb/baselines/rocksdb_like.h"
+#include "flodb/bench_util/driver.h"
+#include "flodb/bench_util/report.h"
+#include "flodb/bench_util/workload.h"
+#include "flodb/core/flodb.h"
+#include "flodb/disk/mem_env.h"
+#include "flodb/disk/throttled_env.h"
+
+namespace flodb::bench {
+
+struct BenchConfig {
+  double seconds = 1.0;
+  std::vector<int> threads = {1, 2, 4};
+  uint64_t key_space = 100'000;
+  size_t value_bytes = 64;
+  size_t memory_bytes = 2u << 20;
+  uint64_t disk_mbps = 32;
+
+  static BenchConfig FromEnv() {
+    BenchConfig config;
+    config.seconds = EnvDouble("FLODB_BENCH_SECONDS", config.seconds);
+    config.key_space = static_cast<uint64_t>(EnvInt("FLODB_BENCH_KEYS", 100'000));
+    config.value_bytes = static_cast<size_t>(EnvInt("FLODB_BENCH_VALUE", 64));
+    config.memory_bytes = static_cast<size_t>(EnvInt("FLODB_BENCH_MEMORY", 2 << 20));
+    config.disk_mbps = static_cast<uint64_t>(EnvInt("FLODB_BENCH_DISK_MBPS", 32));
+    const char* threads_env = getenv("FLODB_BENCH_THREADS");
+    if (threads_env != nullptr && *threads_env != '\0') {
+      config.threads.clear();
+      std::string spec(threads_env);
+      size_t pos = 0;
+      while (pos < spec.size()) {
+        config.threads.push_back(atoi(spec.c_str() + pos));
+        pos = spec.find(',', pos);
+        if (pos == std::string::npos) {
+          break;
+        }
+        ++pos;
+      }
+    }
+    return config;
+  }
+};
+
+// A store bundled with the environments backing it (owned together so the
+// store dies before the envs).
+struct StoreInstance {
+  std::unique_ptr<MemEnv> mem_env;
+  std::unique_ptr<ThrottledEnv> throttled_env;
+  std::unique_ptr<KVStore> store;
+
+  KVStore* operator->() const { return store.get(); }
+  KVStore* get() const { return store.get(); }
+};
+
+enum class StoreId { kFloDB, kRocksDB, kRocksDBcLSM, kHyperLevelDB, kLevelDB };
+
+inline const std::vector<StoreId>& AllStores() {
+  static const std::vector<StoreId> all = {StoreId::kFloDB, StoreId::kRocksDB,
+                                           StoreId::kRocksDBcLSM, StoreId::kHyperLevelDB,
+                                           StoreId::kLevelDB};
+  return all;
+}
+
+inline const char* StoreName(StoreId id) {
+  switch (id) {
+    case StoreId::kFloDB:
+      return "FloDB";
+    case StoreId::kRocksDB:
+      return "RocksDB";
+    case StoreId::kRocksDBcLSM:
+      return "RocksDB/cLSM";
+    case StoreId::kHyperLevelDB:
+      return "HyperLevelDB";
+    case StoreId::kLevelDB:
+      return "LevelDB";
+  }
+  return "?";
+}
+
+// Opens a fresh store of the given kind over a throttled in-memory disk.
+// memory_bytes is the total memory-component budget (FloDB splits it 1:3;
+// baselines give it all to their single memtable, as in the paper).
+inline StoreInstance OpenStore(StoreId id, const BenchConfig& config, size_t memory_bytes) {
+  StoreInstance instance;
+  instance.mem_env = std::make_unique<MemEnv>();
+  instance.throttled_env =
+      std::make_unique<ThrottledEnv>(instance.mem_env.get(), config.disk_mbps << 20);
+
+  DiskOptions disk;
+  disk.env = instance.throttled_env.get();
+  disk.path = "/bench";
+  disk.sstable_target_bytes = 1 << 20;
+
+  Status status;
+  switch (id) {
+    case StoreId::kFloDB: {
+      FloDbOptions options;
+      options.memory_budget_bytes = memory_bytes;
+      options.disk = disk;
+      // The paper's evaluation configuration: masters may reuse the
+      // previous scan seq (serializable scans, §4.4 optimization).
+      options.scan_master_reuse_limit = 8;
+      std::unique_ptr<FloDB> db;
+      status = FloDB::Open(options, &db);
+      instance.store = std::move(db);
+      break;
+    }
+    case StoreId::kRocksDB: {
+      RocksDBLikeConfig rocks;
+      rocks.memtable_bytes = memory_bytes;
+      status = OpenRocksDBLike(rocks, disk, &instance.store);
+      break;
+    }
+    case StoreId::kRocksDBcLSM: {
+      RocksDBLikeConfig rocks;
+      rocks.memtable_bytes = memory_bytes;
+      rocks.clsm_mode = true;
+      status = OpenRocksDBLike(rocks, disk, &instance.store);
+      break;
+    }
+    case StoreId::kHyperLevelDB:
+      status = OpenHyperLevelDBLike(memory_bytes, disk, &instance.store);
+      break;
+    case StoreId::kLevelDB:
+      status = OpenLevelDBLike(memory_bytes, disk, &instance.store);
+      break;
+  }
+  if (!status.ok()) {
+    fprintf(stderr, "bench: cannot open %s: %s\n", StoreName(id), status.ToString().c_str());
+    abort();
+  }
+  return instance;
+}
+
+}  // namespace flodb::bench
+
+#endif  // FLODB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,14 @@
+// Figure 4: RocksDB-like store with a HASH TABLE memory component.
+// readwhilewriting; median read and write latency vs memory component
+// size. Expected shape: end-to-end write latency grows even faster than
+// the skiplist's because flushes must collect + sort the whole component
+// (linearithmic), stalling writers while the active table fills.
+
+#include "latency_vs_memory.h"
+
+int main() {
+  flodb::bench::RunLatencyVsMemory(
+      "fig04", "RocksDB-like hash memtable: latency vs memory size",
+      flodb::BaselineMemTable::Kind::kHashTable);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 9: write-only workload (50% inserts, 50% deletes) on a fresh
+// store, throughput vs thread count, all systems. Expected shape: FloDB
+// saturates the persistence bandwidth with one thread and stays on top;
+// HyperLevelDB scales but below FloDB; RocksDB/LevelDB stay flat
+// (single-writer queue). The dashed line of the paper — the persistence
+// ceiling — is printed as an estimate from the disk throttle.
+
+#include "system_sweep.h"
+
+int main() {
+  using namespace flodb::bench;
+  BenchConfig config = BenchConfig::FromEnv();
+
+  // Average persistence throughput: bandwidth / persisted entry footprint
+  // (key + value + per-entry table overhead).
+  const double entry_bytes = static_cast<double>(config.value_bytes) + 8 + 12;
+  const double persist_mops =
+      static_cast<double>(config.disk_mbps << 20) / entry_bytes / 1e6;
+  printf("# estimated average persistence throughput: %.2f Mops/s (dashed line)\n",
+         persist_mops);
+
+  SweepSpec spec;
+  spec.figure_id = "fig09";
+  spec.title = "write-only (50% insert / 50% delete), throughput vs threads";
+  spec.workload.put_fraction = 0.5;
+  spec.workload.delete_fraction = 0.5;
+  spec.init = InitRecipe::kFresh;  // paper: fresh store for write-only
+  RunSystemSweep(spec);
+  return 0;
+}

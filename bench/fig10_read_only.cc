@@ -1,0 +1,17 @@
+// Figure 10: read-only workload after sequential initialization,
+// throughput vs thread count. Expected shape: FloDB and RocksDB scale
+// (no global mutex on the read path); LevelDB and HyperLevelDB cap out
+// early (two critical sections per Get).
+
+#include "system_sweep.h"
+
+int main() {
+  using namespace flodb::bench;
+  SweepSpec spec;
+  spec.figure_id = "fig10";
+  spec.title = "read-only, sequential init, throughput vs threads";
+  spec.workload.get_fraction = 1.0;
+  spec.init = InitRecipe::kFullSequential;
+  RunSystemSweep(spec);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 11: balanced mixed workload (50% reads, 25% inserts, 25%
+// deletes), half-random init, throughput vs threads. Expected shape:
+// FloDB leads at every thread count.
+
+#include "system_sweep.h"
+
+int main() {
+  using namespace flodb::bench;
+  SweepSpec spec;
+  spec.figure_id = "fig11";
+  spec.title = "mixed 50r/25i/25d, throughput vs threads";
+  spec.workload.get_fraction = 0.5;
+  spec.workload.put_fraction = 0.25;
+  spec.workload.delete_fraction = 0.25;
+  spec.init = InitRecipe::kHalfRandom;
+  RunSystemSweep(spec);
+  return 0;
+}

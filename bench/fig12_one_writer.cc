@@ -1,0 +1,18 @@
+// Figure 12: one writer thread, all remaining threads read. Throughput
+// vs total thread count. Expected shape: read-scalable systems (FloDB,
+// RocksDB) grow with thread count; mutex-bracketed readers do not.
+
+#include "system_sweep.h"
+
+int main() {
+  using namespace flodb::bench;
+  SweepSpec spec;
+  spec.figure_id = "fig12";
+  spec.title = "one writer + N-1 readers, throughput vs threads";
+  spec.workload.get_fraction = 1.0;  // the N-1 readers
+  spec.init = InitRecipe::kHalfRandom;
+  spec.two_role = true;
+  spec.writer_spec.put_fraction = 1.0;
+  RunSystemSweep(spec);
+  return 0;
+}

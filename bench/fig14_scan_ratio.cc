@@ -1,0 +1,41 @@
+// Figure 14: FloDB, impact of the scan ratio (2%..50%) on operation- and
+// key-throughput at a fixed thread count. Expected shape: ops/s falls as
+// the scan ratio rises (scans are heavier), while keys/s RISES (each scan
+// contributes scan_length key accesses and fewer writes interfere).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace flodb::bench;
+  BenchConfig config = BenchConfig::FromEnv();
+  Report report("fig14", "FloDB: scan ratio vs operation- and key-throughput");
+  report.Header({"scan_pct", "write_Mops", "scan_Mops", "total_Mops", "Mkeys/s"});
+
+  const int threads = config.threads.empty() ? 4 : config.threads.back();
+  for (double scan_pct : {0.02, 0.05, 0.10, 0.25, 0.50}) {
+    StoreInstance instance = OpenStore(StoreId::kFloDB, config, config.memory_bytes);
+    LoadRandomOrder(instance.get(), config.key_space / 2, config.key_space,
+                    config.value_bytes);
+    instance->FlushAll();
+
+    WorkloadSpec workload;
+    workload.put_fraction = 1.0 - scan_pct;
+    workload.scan_fraction = scan_pct;
+    workload.scan_length = 100;
+    workload.key_space = config.key_space;
+    workload.value_bytes = config.value_bytes;
+
+    DriverOptions driver;
+    driver.threads = threads;
+    driver.seconds = config.seconds;
+
+    const DriverResult result = RunWorkload(instance.get(), workload, driver);
+    const std::string label = Report::Fmt(scan_pct * 100, 0) + "%";
+    report.Row({label, Report::Fmt(result.WriteMopsPerSec(), 3),
+                Report::Fmt(result.ScanMopsPerSec(), 3), Report::Fmt(result.MopsPerSec(), 3),
+                Report::Fmt(result.MkeysPerSec(), 3)});
+    report.Csv({label, Report::Fmt(result.WriteMopsPerSec(), 4),
+                Report::Fmt(result.ScanMopsPerSec(), 4), Report::Fmt(result.MkeysPerSec(), 4)});
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+// google-benchmark micro suite over the substrates: coding, hashing,
+// CRC32C, arena, bloom, Membuffer and skiplist hot paths. These anchor
+// the system-level numbers (e.g. the hash-table vs skiplist gap behind
+// Figures 5/7).
+
+#include <benchmark/benchmark.h>
+
+#include "flodb/bench_util/workload.h"
+#include "flodb/common/arena.h"
+#include "flodb/common/coding.h"
+#include "flodb/common/hash.h"
+#include "flodb/common/key_codec.h"
+#include "flodb/common/random.h"
+#include "flodb/disk/bloom.h"
+#include "flodb/disk/crc32c.h"
+#include "flodb/mem/membuffer.h"
+#include "flodb/mem/skiplist.h"
+
+namespace flodb {
+namespace {
+
+void BM_VarintEncodeDecode(benchmark::State& state) {
+  std::string buf;
+  uint64_t v = 0;
+  for (auto _ : state) {
+    buf.clear();
+    PutVarint64(&buf, v);
+    uint64_t parsed;
+    GetVarint64Ptr(buf.data(), buf.data() + buf.size(), &parsed);
+    benchmark::DoNotOptimize(parsed);
+    v = v * 31 + 7;
+  }
+}
+BENCHMARK(BM_VarintEncodeDecode);
+
+void BM_Hash64(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'h');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash64(data.data(), data.size(), 0));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Hash64)->Arg(8)->Arg(64)->Arg(4096);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'c');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096);
+
+void BM_ArenaAllocate(benchmark::State& state) {
+  ConcurrentArena arena;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.Allocate(48));
+  }
+}
+BENCHMARK(BM_ArenaAllocate);
+
+void BM_BloomProbe(benchmark::State& state) {
+  BloomFilter bloom(10);
+  std::vector<std::string> key_strings;
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    key_strings.push_back(EncodeKey(i));
+  }
+  std::vector<Slice> keys(key_strings.begin(), key_strings.end());
+  std::string filter;
+  bloom.CreateFilter(keys, &filter);
+  uint64_t i = 0;
+  KeyBuf buf;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom.KeyMayMatch(buf.Set(i++ % 20'000), Slice(filter)));
+  }
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_MemBufferAdd(benchmark::State& state) {
+  MemBuffer::Options options;
+  options.capacity_bytes = 64u << 20;
+  MemBuffer buffer(options);
+  Random64 rng(1);
+  KeyBuf buf;
+  const std::string value(64, 'v');
+  for (auto _ : state) {
+    buffer.Add(buf.Set(rng.Next()), Slice(value), ValueType::kValue);
+  }
+}
+BENCHMARK(BM_MemBufferAdd);
+
+void BM_MemBufferGet(benchmark::State& state) {
+  MemBuffer::Options options;
+  options.capacity_bytes = 64u << 20;
+  MemBuffer buffer(options);
+  KeyBuf buf;
+  for (uint64_t i = 0; i < 100'000; ++i) {
+    buffer.Add(buf.Set(bench::SpreadKey(i, 100'000)), Slice("12345678"), ValueType::kValue);
+  }
+  Random64 rng(2);
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        buffer.Get(buf.Set(bench::SpreadKey(rng.Uniform(100'000), 100'000)), &value, nullptr));
+  }
+}
+BENCHMARK(BM_MemBufferGet);
+
+void BM_SkipListInsert(benchmark::State& state) {
+  ConcurrentArena arena(4u << 20);
+  ConcurrentSkipList list(&arena);
+  Random64 rng(3);
+  KeyBuf buf;
+  uint64_t seq = 1;
+  for (auto _ : state) {
+    list.Insert(buf.Set(rng.Next()), Slice("12345678"), seq++, ValueType::kValue);
+  }
+}
+BENCHMARK(BM_SkipListInsert);
+
+void BM_SkipListGet(benchmark::State& state) {
+  ConcurrentArena arena(4u << 20);
+  ConcurrentSkipList list(&arena);
+  KeyBuf buf;
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (uint64_t i = 0; i < n; ++i) {
+    list.Insert(buf.Set(bench::SpreadKey(i, n)), Slice("12345678"), i + 1, ValueType::kValue);
+  }
+  Random64 rng(4);
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        list.Get(buf.Set(bench::SpreadKey(rng.Uniform(n), n)), &value, nullptr, nullptr));
+  }
+}
+BENCHMARK(BM_SkipListGet)->Arg(1'000)->Arg(100'000);
+
+void BM_SkipListMultiInsert5(benchmark::State& state) {
+  ConcurrentArena arena(4u << 20);
+  ConcurrentSkipList list(&arena);
+  KeyBuf buf;
+  for (uint64_t i = 0; i < 100'000; ++i) {
+    list.Insert(buf.Set(bench::SpreadKey(i, 100'000)), Slice("base"), i + 1,
+                ValueType::kValue);
+  }
+  Random64 rng(5);
+  uint64_t seq = 200'000;
+  std::vector<std::string> keys(5);
+  std::vector<ConcurrentSkipList::BatchEntry> batch;
+  for (auto _ : state) {
+    const uint64_t base = rng.Uniform(99'000);
+    batch.clear();
+    for (int i = 0; i < 5; ++i) {
+      keys[static_cast<size_t>(i)] =
+          EncodeKey(bench::SpreadKey(base + static_cast<uint64_t>(i) * 37 % 1000, 100'000));
+    }
+    std::sort(keys.begin(), keys.end());
+    for (int i = 0; i < 5; ++i) {
+      batch.push_back(ConcurrentSkipList::BatchEntry{
+          Slice(keys[static_cast<size_t>(i)]), Slice("12345678"), ValueType::kValue, seq++});
+    }
+    list.MultiInsert(batch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 5);
+}
+BENCHMARK(BM_SkipListMultiInsert5);
+
+}  // namespace
+}  // namespace flodb
+
+BENCHMARK_MAIN();

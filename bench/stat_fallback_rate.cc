@@ -1,0 +1,48 @@
+// §5.2 (text claim): "in all of our experiments, the ratio of fallback
+// scans to total completed scans was less than 1%". Reproduced across a
+// sweep of scan ranges, memory sizes and thread counts.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace flodb::bench;
+  BenchConfig config = BenchConfig::FromEnv();
+  Report report("stat_fallback", "FloDB fallback-scan rate across scan sweeps");
+  report.Header({"scan_len", "memory", "threads", "scans", "restarts", "fallbacks", "rate%"});
+
+  const int max_threads = config.threads.empty() ? 4 : config.threads.back();
+  for (size_t scan_len : {10u, 100u, 1000u}) {
+    for (size_t memory : {512u << 10, 2u << 20}) {
+      for (int threads : {2, max_threads}) {
+        StoreInstance instance = OpenStore(StoreId::kFloDB, config, memory);
+        LoadRandomOrder(instance.get(), config.key_space / 2, config.key_space,
+                        config.value_bytes);
+
+        WorkloadSpec workload;
+        workload.put_fraction = 0.95;
+        workload.scan_fraction = 0.05;
+        workload.scan_length = scan_len;
+        workload.key_space = config.key_space;
+        workload.value_bytes = config.value_bytes;
+
+        DriverOptions driver;
+        driver.threads = threads;
+        driver.seconds = config.seconds;
+
+        RunWorkload(instance.get(), workload, driver);
+        const flodb::StoreStats stats = instance->GetStats();
+        const double rate = stats.scans > 0 ? 100.0 * static_cast<double>(stats.fallback_scans) /
+                                                  static_cast<double>(stats.scans)
+                                            : 0;
+        char mem_label[32];
+        snprintf(mem_label, sizeof(mem_label), "%zuKB", memory >> 10);
+        report.Row({std::to_string(scan_len), mem_label, std::to_string(threads),
+                    std::to_string(stats.scans), std::to_string(stats.scan_restarts),
+                    std::to_string(stats.fallback_scans), Report::Fmt(rate, 2)});
+        report.Csv({std::to_string(scan_len), mem_label, std::to_string(threads),
+                    Report::Fmt(rate, 3)});
+      }
+    }
+  }
+  return 0;
+}

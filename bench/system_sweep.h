@@ -1,0 +1,82 @@
+// Shared driver for the system-comparison figures (9-13): every store,
+// swept over thread counts, with a per-figure workload and initialization
+// recipe. Prints one column per store, one row per thread count, plus CSV.
+
+#ifndef FLODB_BENCH_SYSTEM_SWEEP_H_
+#define FLODB_BENCH_SYSTEM_SWEEP_H_
+
+#include <functional>
+
+#include "bench_common.h"
+
+namespace flodb::bench {
+
+enum class InitRecipe { kFresh, kHalfRandom, kFullSequential };
+
+struct SweepSpec {
+  const char* figure_id;
+  const char* title;
+  WorkloadSpec workload;
+  InitRecipe init = InitRecipe::kHalfRandom;
+  bool two_role = false;
+  WorkloadSpec writer_spec;
+  // Metric extractor; default = Mops/s.
+  std::function<double(const DriverResult&)> metric;
+  const char* metric_name = "Mops/s";
+};
+
+inline void RunSystemSweep(const SweepSpec& spec) {
+  BenchConfig config = BenchConfig::FromEnv();
+  Report report(spec.figure_id, spec.title);
+
+  std::vector<std::string> header = {"threads"};
+  for (StoreId id : AllStores()) {
+    header.push_back(StoreName(id));
+  }
+  report.Header(header);
+
+  auto metric = spec.metric ? spec.metric
+                            : [](const DriverResult& r) { return r.MopsPerSec(); };
+
+  for (int threads : config.threads) {
+    std::vector<std::string> row = {std::to_string(threads)};
+    for (StoreId id : AllStores()) {
+      StoreInstance instance = OpenStore(id, config, config.memory_bytes);
+      switch (spec.init) {
+        case InitRecipe::kFresh:
+          break;
+        case InitRecipe::kHalfRandom:
+          LoadRandomOrder(instance.get(), config.key_space / 2, config.key_space,
+                          config.value_bytes);
+          instance->FlushAll();
+          break;
+        case InitRecipe::kFullSequential:
+          LoadSequential(instance.get(), config.key_space, config.value_bytes);
+          instance->FlushAll();
+          break;
+      }
+
+      WorkloadSpec workload = spec.workload;
+      workload.key_space = config.key_space;
+      workload.value_bytes = config.value_bytes;
+
+      DriverOptions driver;
+      driver.threads = threads;
+      driver.seconds = config.seconds;
+      driver.two_role = spec.two_role;
+      driver.writer_spec = spec.writer_spec;
+      driver.writer_spec.key_space = config.key_space;
+      driver.writer_spec.value_bytes = config.value_bytes;
+
+      const DriverResult result = RunWorkload(instance.get(), workload, driver);
+      const double value = metric(result);
+      row.push_back(Report::Fmt(value, 3));
+      report.Csv({std::to_string(threads), StoreName(id), Report::Fmt(value, 4)});
+    }
+    report.Row(row);
+  }
+}
+
+}  // namespace flodb::bench
+
+#endif  // FLODB_BENCH_SYSTEM_SWEEP_H_

@@ -1,0 +1,125 @@
+// Message queue over FloDB — the paper's motivating write-heavy workload
+// ("message queues that undergo a high number of updates", §1).
+//
+// Multiple producers append messages under sequenced keys
+// (queue:<topic>:<seq>); a consumer drains them with range scans and
+// deletes what it consumed. The write burst is absorbed by the
+// Membuffer while the background threads stream it down to disk.
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "flodb/common/clock.h"
+#include "flodb/core/flodb.h"
+#include "flodb/disk/mem_env.h"
+
+namespace {
+
+std::string MessageKey(uint64_t seq) {
+  // Fixed-width, zero-padded so byte order == numeric order.
+  char buf[32];
+  snprintf(buf, sizeof(buf), "queue:events:%012" PRIu64, seq);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace flodb;
+
+  // In-memory Env keeps the example self-contained; swap in GetPosixEnv()
+  // and a real path for durability.
+  MemEnv env;
+  FloDbOptions options;
+  options.memory_budget_bytes = 8u << 20;
+  options.disk.env = &env;
+  options.disk.path = "/queue";
+
+  std::unique_ptr<FloDB> db;
+  if (Status s = FloDB::Open(options, &db); !s.ok()) {
+    fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  constexpr int kProducers = 3;
+  constexpr uint64_t kMessagesPerProducer = 20'000;
+  std::atomic<uint64_t> next_seq{0};
+  std::atomic<uint64_t> produced{0};
+
+  const uint64_t start = NowNanos();
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      char payload[128];
+      for (uint64_t i = 0; i < kMessagesPerProducer; ++i) {
+        const uint64_t seq = next_seq.fetch_add(1);
+        const int len = snprintf(payload, sizeof(payload),
+                                 "{\"producer\":%d,\"n\":%llu,\"body\":\"event-payload\"}", p,
+                                 static_cast<unsigned long long>(i));
+        db->Put(Slice(MessageKey(seq)), Slice(payload, static_cast<size_t>(len)));
+        produced.fetch_add(1);
+      }
+    });
+  }
+
+  // Consumer: drains batches of 500 messages in key order while producers
+  // run. Each pass scans from the queue head — consumed messages are
+  // deleted, so the head advances naturally, and in-flight messages with
+  // smaller sequence numbers (producers race on the counter) are picked
+  // up by a later pass instead of being skipped.
+  std::atomic<bool> producers_done{false};
+  std::atomic<uint64_t> consumed{0};
+  std::thread consumer([&] {
+    std::vector<std::pair<std::string, std::string>> batch;
+    while (true) {
+      // Sample the flag BEFORE scanning: an empty scan only proves the
+      // queue is drained if no producer was active when the scan began.
+      const bool done_before_scan = producers_done.load();
+      const Status s = db->Scan(Slice(MessageKey(0)), Slice(), 500, &batch);
+      if (!s.ok()) {
+        fprintf(stderr, "scan failed: %s\n", s.ToString().c_str());
+        return;
+      }
+      if (batch.empty()) {
+        if (done_before_scan) {
+          return;
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      for (const auto& [key, payload] : batch) {
+        db->Delete(Slice(key));  // ack: message leaves the queue
+      }
+      consumed.fetch_add(batch.size());
+    }
+  });
+
+  for (auto& t : producers) {
+    t.join();
+  }
+  producers_done.store(true);
+  consumer.join();
+  const double elapsed = SecondsSince(start);
+
+  printf("message queue demo:\n");
+  printf("  produced   %llu messages with %d producers\n",
+         static_cast<unsigned long long>(produced.load()), kProducers);
+  printf("  consumed   %llu messages in order\n",
+         static_cast<unsigned long long>(consumed.load()));
+  printf("  elapsed    %.2f s  (%.0f Kmsg/s end-to-end)\n", elapsed,
+         static_cast<double>(produced.load() + consumed.load()) / elapsed / 1000);
+
+  const StoreStats stats = db->GetStats();
+  printf("  membuffer absorbed %.1f%% of writes\n",
+         100.0 * static_cast<double>(stats.membuffer_adds) /
+             static_cast<double>(stats.membuffer_adds + stats.memtable_direct_adds));
+  printf("  scans=%llu (restarts=%llu, fallbacks=%llu)\n",
+         static_cast<unsigned long long>(stats.scans),
+         static_cast<unsigned long long>(stats.scan_restarts),
+         static_cast<unsigned long long>(stats.fallback_scans));
+  return consumed.load() == produced.load() ? 0 : 1;
+}

@@ -1,0 +1,231 @@
+#include "flodb/baselines/baseline_memtable.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "flodb/common/hash.h"
+
+namespace flodb {
+
+void AppendInternalKey(std::string* dst, const Slice& user_key, uint64_t seq) {
+  dst->append(user_key.data(), user_key.size());
+  const uint64_t inv = ~seq;
+  for (int i = 7; i >= 0; --i) {
+    dst->push_back(static_cast<char>((inv >> (8 * i)) & 0xff));
+  }
+}
+
+Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+uint64_t ExtractSeq(const Slice& internal_key) {
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(internal_key.data() + internal_key.size() - 8);
+  uint64_t inv = 0;
+  for (int i = 0; i < 8; ++i) {
+    inv = (inv << 8) | p[i];
+  }
+  return ~inv;
+}
+
+namespace {
+
+constexpr size_t kHashBuckets = 1 << 14;
+
+// Iterates (internal-key) skiplist nodes, exposing user keys and seqs.
+class InternalSkipListIterator final : public Iterator {
+ public:
+  explicit InternalSkipListIterator(const ConcurrentSkipList* list) : iter_(list) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void Seek(const Slice& target) override {
+    // First internal key with user_key >= target: suffix of eight 0x00
+    // bytes sorts before every real (~seq) suffix of the same user key.
+    std::string internal(target.data(), target.size());
+    internal.append(8, '\0');
+    iter_.Seek(Slice(internal));
+  }
+  void Next() override { iter_.Next(); }
+
+  Slice key() const override { return ExtractUserKey(iter_.key()); }
+  Slice value() const override { return iter_.value(); }
+  uint64_t seq() const override { return iter_.seq(); }
+  ValueType type() const override { return iter_.type(); }
+
+ private:
+  ConcurrentSkipList::Iterator iter_;
+};
+
+}  // namespace
+
+BaselineMemTable::BaselineMemTable(Kind kind, size_t target_bytes)
+    : kind_(kind), target_bytes_(target_bytes), arena_(256u << 10) {
+  if (kind_ == Kind::kSkipList) {
+    list_ = std::make_unique<ConcurrentSkipList>(&arena_);
+  } else {
+    buckets_ = std::vector<HashBucket>(kHashBuckets);
+  }
+}
+
+BaselineMemTable::~BaselineMemTable() = default;
+
+void BaselineMemTable::Add(const Slice& key, const Slice& value, uint64_t seq, ValueType type) {
+  if (kind_ == Kind::kSkipList) {
+    std::string internal;
+    internal.reserve(key.size() + 8);
+    AppendInternalKey(&internal, key, seq);
+    list_->Insert(Slice(internal), value, seq, type);
+    return;
+  }
+  char* mem = arena_.Allocate(sizeof(HashEntry) + key.size() + value.size());
+  auto* entry = new (mem) HashEntry;
+  entry->key_size = static_cast<uint32_t>(key.size());
+  entry->value_size = static_cast<uint32_t>(value.size());
+  entry->seq = seq;
+  entry->type = type;
+  memcpy(mem + sizeof(HashEntry), key.data(), key.size());
+  memcpy(mem + sizeof(HashEntry) + key.size(), value.data(), value.size());
+
+  HashBucket& bucket = buckets_[Hash64(key, 0xba5e11) & (kHashBuckets - 1)];
+  {
+    SpinLockGuard guard(bucket.lock);
+    bucket.entries.push_back(entry);
+  }
+  hash_count_.fetch_add(1, std::memory_order_relaxed);
+  hash_bytes_.fetch_add(sizeof(HashEntry) + key.size() + value.size() + sizeof(void*),
+                        std::memory_order_relaxed);
+}
+
+bool BaselineMemTable::Get(const Slice& key, uint64_t snapshot_seq, std::string* value,
+                           uint64_t* seq, ValueType* type) const {
+  if (kind_ == Kind::kSkipList) {
+    // Seek to user_key @ snapshot: internal suffix ~snapshot lands on the
+    // newest version with seq <= snapshot.
+    std::string target;
+    target.reserve(key.size() + 8);
+    AppendInternalKey(&target, key, snapshot_seq);
+    ConcurrentSkipList::Iterator iter(list_.get());
+    iter.Seek(Slice(target));
+    if (!iter.Valid() || ExtractUserKey(iter.key()) != key) {
+      return false;
+    }
+    if (value != nullptr) {
+      value->assign(iter.value().data(), iter.value().size());
+    }
+    if (seq != nullptr) {
+      *seq = iter.seq();
+    }
+    if (type != nullptr) {
+      *type = iter.type();
+    }
+    return true;
+  }
+
+  const HashBucket& bucket = buckets_[Hash64(key, 0xba5e11) & (kHashBuckets - 1)];
+  SpinLockGuard guard(bucket.lock);
+  // Newest versions were appended last; scan backwards.
+  for (auto it = bucket.entries.rbegin(); it != bucket.entries.rend(); ++it) {
+    const HashEntry* entry = *it;
+    if (entry->seq <= snapshot_seq && entry->key() == key) {
+      if (value != nullptr) {
+        value->assign(entry->value().data(), entry->value().size());
+      }
+      if (seq != nullptr) {
+        *seq = entry->seq;
+      }
+      if (type != nullptr) {
+        *type = entry->type;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Owns a sorted snapshot of hash-table entries (the linearithmic step).
+class SortedVectorIterator final : public Iterator {
+ public:
+  struct Item {
+    std::string key;
+    std::string value;
+    uint64_t seq;
+    ValueType type;
+  };
+
+  explicit SortedVectorIterator(std::vector<Item> items) : items_(std::move(items)) {}
+
+  bool Valid() const override { return pos_ < items_.size(); }
+  void SeekToFirst() override { pos_ = 0; }
+  void Seek(const Slice& target) override {
+    // First item with key >= target.
+    size_t lo = 0, hi = items_.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (Slice(items_[mid].key).compare(target) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    pos_ = lo;
+  }
+  void Next() override { ++pos_; }
+
+  Slice key() const override { return Slice(items_[pos_].key); }
+  Slice value() const override { return Slice(items_[pos_].value); }
+  uint64_t seq() const override { return items_[pos_].seq; }
+  ValueType type() const override { return items_[pos_].type; }
+
+ private:
+  std::vector<Item> items_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> BaselineMemTable::NewSortedIterator() const {
+  if (kind_ == Kind::kSkipList) {
+    return std::make_unique<InternalSkipListIterator>(list_.get());
+  }
+  // Hash table: collect every version, then sort — O(n log n), the cost
+  // the paper charges against hash-table memory components (§2.3).
+  std::vector<SortedVectorIterator::Item> items;
+  items.reserve(hash_count_.load(std::memory_order_relaxed));
+  for (const HashBucket& bucket : buckets_) {
+    SpinLockGuard guard(bucket.lock);
+    for (const HashEntry* entry : bucket.entries) {
+      items.push_back(SortedVectorIterator::Item{entry->key().ToString(),
+                                                 entry->value().ToString(), entry->seq,
+                                                 entry->type});
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const SortedVectorIterator::Item& a, const SortedVectorIterator::Item& b) {
+              const int cmp = Slice(a.key).compare(Slice(b.key));
+              if (cmp != 0) {
+                return cmp < 0;
+              }
+              return a.seq > b.seq;
+            });
+  return std::make_unique<SortedVectorIterator>(std::move(items));
+}
+
+size_t BaselineMemTable::ApproximateBytes() const {
+  if (kind_ == Kind::kSkipList) {
+    return arena_.AllocatedBytes();
+  }
+  return hash_bytes_.load(std::memory_order_relaxed);
+}
+
+size_t BaselineMemTable::Count() const {
+  if (kind_ == Kind::kSkipList) {
+    return list_->Count();
+  }
+  return hash_count_.load(std::memory_order_relaxed);
+}
+
+}  // namespace flodb

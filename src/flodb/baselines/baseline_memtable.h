@@ -1,0 +1,102 @@
+// BaselineMemTable: the single-level, MULTI-VERSIONED memory component
+// used by the baseline stores (LevelDB-, HyperLevelDB-, RocksDB-like).
+//
+// Unlike FloDB's in-place Memtable, every update appends a new version —
+// "multi-versioning is used by all existing LSMs" (§3.2). This is exactly
+// what makes skewed workloads fill the memory component and trigger
+// flushes (Figure 16 reproduces the contrast).
+//
+// Two data-structure kinds, mirroring §2.3:
+//  * kSkipList — sorted; O(log n) inserts that slow down as the component
+//    grows (Figure 3); flush is a direct sorted copy.
+//  * kHashTable — O(1) inserts; flush must collect and SORT everything
+//    (linearithmic), delaying writers when the active table fills while
+//    the immutable one is still being sorted/persisted (Figure 4).
+//
+// Versioned ordering uses internal keys = user_key + big-endian(~seq), so
+// raw byte comparison yields (user key asc, seq desc). This assumes no
+// user key is a strict prefix of another (true for the fixed-width keys
+// used throughout the evaluation); FloDB itself has no such restriction.
+
+#ifndef FLODB_BASELINES_BASELINE_MEMTABLE_H_
+#define FLODB_BASELINES_BASELINE_MEMTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flodb/common/arena.h"
+#include "flodb/common/slice.h"
+#include "flodb/disk/iterator.h"
+#include "flodb/mem/skiplist.h"
+#include "flodb/sync/spinlock.h"
+
+namespace flodb {
+
+// internal key = user_key bytes + 8-byte big-endian ~seq.
+void AppendInternalKey(std::string* dst, const Slice& user_key, uint64_t seq);
+Slice ExtractUserKey(const Slice& internal_key);
+uint64_t ExtractSeq(const Slice& internal_key);
+
+class BaselineMemTable {
+ public:
+  enum class Kind { kSkipList, kHashTable };
+
+  BaselineMemTable(Kind kind, size_t target_bytes);
+  ~BaselineMemTable();
+
+  BaselineMemTable(const BaselineMemTable&) = delete;
+  BaselineMemTable& operator=(const BaselineMemTable&) = delete;
+
+  // Appends a new version. Thread-safe.
+  void Add(const Slice& key, const Slice& value, uint64_t seq, ValueType type);
+
+  // Returns the newest version with seq <= snapshot_seq.
+  bool Get(const Slice& key, uint64_t snapshot_seq, std::string* value, uint64_t* seq,
+           ValueType* type) const;
+
+  // All versions, ordered (user key asc, seq desc). For kHashTable this
+  // COLLECTS AND SORTS the whole table — the linearithmic flush cost the
+  // paper calls out (§2.3).
+  std::unique_ptr<Iterator> NewSortedIterator() const;
+
+  size_t ApproximateBytes() const;
+  size_t Count() const;
+  bool OverTarget() const { return ApproximateBytes() >= target_bytes_; }
+  Kind kind() const { return kind_; }
+
+ private:
+  struct HashEntry {
+    uint32_t key_size;
+    uint32_t value_size;
+    uint64_t seq;
+    ValueType type;
+    // key bytes then value bytes follow
+    Slice key() const { return Slice(reinterpret_cast<const char*>(this + 1), key_size); }
+    Slice value() const {
+      return Slice(reinterpret_cast<const char*>(this + 1) + key_size, value_size);
+    }
+  };
+
+  struct HashBucket {
+    mutable SpinLock lock;
+    std::vector<const HashEntry*> entries;  // append order = oldest first
+  };
+
+  const Kind kind_;
+  const size_t target_bytes_;
+  mutable ConcurrentArena arena_;
+
+  // kSkipList state.
+  std::unique_ptr<ConcurrentSkipList> list_;
+
+  // kHashTable state.
+  std::vector<HashBucket> buckets_;
+  std::atomic<size_t> hash_count_{0};
+  std::atomic<size_t> hash_bytes_{0};
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_BASELINES_BASELINE_MEMTABLE_H_

@@ -1,0 +1,380 @@
+#include "flodb/baselines/baseline_store.h"
+
+#include <algorithm>
+
+#include "flodb/disk/merging_iterator.h"
+#include "flodb/sync/backoff.h"
+
+namespace flodb {
+
+using Concurrency = BaselineOptions::Concurrency;
+
+BaselineStore::BaselineStore(const BaselineOptions& options) : options_(options) {}
+
+Status BaselineStore::Open(const BaselineOptions& options, std::unique_ptr<BaselineStore>* out) {
+  if (options.enable_persistence &&
+      (options.disk.env == nullptr || options.disk.path.empty())) {
+    return Status::InvalidArgument("persistence requires disk.env and disk.path");
+  }
+  auto store = std::unique_ptr<BaselineStore>(new BaselineStore(options));
+  if (options.enable_persistence) {
+    Status s = DiskComponent::Open(options.disk, &store->disk_);
+    if (!s.ok()) {
+      return s;
+    }
+    const uint64_t max_seq = store->disk_->MaxPersistedSeq();
+    store->seq_.store(max_seq + 1, std::memory_order_relaxed);
+    store->committed_seq_.store(max_seq, std::memory_order_relaxed);
+  }
+  store->mem_.store(store->NewMemTable(), std::memory_order_relaxed);
+  store->flush_thread_ = std::thread([raw = store.get()] { raw->FlushLoop(); });
+  *out = std::move(store);
+  return Status::OK();
+}
+
+BaselineStore::~BaselineStore() {
+  stop_.store(true, std::memory_order_seq_cst);
+  flush_cv_.notify_all();
+  room_cv_.notify_all();
+  if (flush_thread_.joinable()) {
+    flush_thread_.join();
+  }
+  delete mem_.load(std::memory_order_relaxed);
+  delete imm_.load(std::memory_order_relaxed);
+}
+
+Status BaselineStore::Put(const Slice& key, const Slice& value) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  return Update(key, value, ValueType::kValue);
+}
+
+Status BaselineStore::Delete(const Slice& key) {
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  return Update(key, Slice(), ValueType::kTombstone);
+}
+
+Status BaselineStore::Update(const Slice& key, const Slice& value, ValueType type) {
+  switch (options_.concurrency) {
+    case Concurrency::kLevelDB:
+    case Concurrency::kRocksDB:
+      return WriteSingleWriter(key, value, type);
+    case Concurrency::kHyperLevelDB:
+      return WriteHyper(key, value, type);
+    case Concurrency::kCLSM:
+      return WriteClsm(key, value, type);
+  }
+  return Status::NotSupported("unknown concurrency mode");
+}
+
+void BaselineStore::SwapMemtableLocked() {
+  BaselineMemTable* full = mem_.load(std::memory_order_seq_cst);
+  imm_.store(full, std::memory_order_seq_cst);
+  mem_.store(NewMemTable(), std::memory_order_seq_cst);
+  flush_cv_.notify_all();
+}
+
+void BaselineStore::EnsureRoom() {
+  std::unique_lock<std::mutex> db(db_mu_);
+  while (!stop_.load(std::memory_order_relaxed) &&
+         mem_.load(std::memory_order_seq_cst)->OverTarget()) {
+    if (imm_.load(std::memory_order_seq_cst) == nullptr) {
+      if (options_.concurrency == Concurrency::kCLSM) {
+        // cLSM blocks every operation while the memory component is
+        // switched: take the shared-exclusive lock exclusively.
+        db.unlock();
+        std::unique_lock<std::shared_mutex> exclusive(clsm_mu_);
+        std::unique_lock<std::mutex> db2(db_mu_);
+        if (imm_.load(std::memory_order_seq_cst) == nullptr &&
+            mem_.load(std::memory_order_seq_cst)->OverTarget()) {
+          SwapMemtableLocked();
+        }
+        return;
+      }
+      SwapMemtableLocked();
+      return;
+    }
+    // Memtable full AND a flush is still running: writers are delayed —
+    // the very effect Figures 3/4 measure as memory grows.
+    room_cv_.wait_for(db, std::chrono::milliseconds(1));
+  }
+}
+
+void BaselineStore::AdvanceCommitted(uint64_t seq) {
+  uint64_t cur = committed_seq_.load(std::memory_order_relaxed);
+  while (cur < seq && !committed_seq_.compare_exchange_weak(cur, seq, std::memory_order_acq_rel,
+                                                            std::memory_order_relaxed)) {
+  }
+}
+
+void BaselineStore::PublishInOrder(uint64_t seq) {
+  // Writers commit their version numbers strictly in order — the
+  // "expensive synchronization ... to maintain the order of the updates,
+  // through version numbers" (§2.2).
+  Backoff backoff;
+  while (committed_seq_.load(std::memory_order_acquire) != seq - 1) {
+    backoff.Pause();
+  }
+  committed_seq_.store(seq, std::memory_order_release);
+}
+
+Status BaselineStore::WriteSingleWriter(const Slice& key, const Slice& value, ValueType type) {
+  Writer w;
+  w.key = key;
+  w.value = value;
+  w.type = type;
+
+  std::unique_lock<std::mutex> lock(writers_mu_);
+  writers_.push_back(&w);
+  writers_cv_.wait(lock, [&] { return w.done || writers_.front() == &w; });
+  if (w.done) {
+    return w.status;  // a leader already applied our write
+  }
+
+  // We are the leader: collect a group and apply it sequentially.
+  const size_t group_size = std::min(writers_.size(), options_.write_group_max);
+  std::vector<Writer*> group(writers_.begin(), writers_.begin() + group_size);
+  lock.unlock();
+
+  EnsureRoom();
+  uint64_t last_seq = 0;
+  {
+    RcuReadGuard guard(rcu_);
+    BaselineMemTable* mem = mem_.load(std::memory_order_seq_cst);
+    for (Writer* writer : group) {
+      const uint64_t seq = seq_.fetch_add(1, std::memory_order_acq_rel);
+      mem->Add(writer->key, writer->value, seq, writer->type);
+      last_seq = seq;
+    }
+  }
+  AdvanceCommitted(last_seq);
+
+  lock.lock();
+  for (size_t i = 0; i < group.size(); ++i) {
+    writers_.pop_front();
+    group[i]->done = true;
+    group[i]->status = Status::OK();
+  }
+  lock.unlock();
+  writers_cv_.notify_all();
+  return Status::OK();
+}
+
+Status BaselineStore::WriteHyper(const Slice& key, const Slice& value, ValueType type) {
+  EnsureRoom();
+  uint64_t seq;
+  {
+    // Global mutex at the start of the operation (version assignment).
+    std::lock_guard<std::mutex> db(db_mu_);
+    seq = seq_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  {
+    RcuReadGuard guard(rcu_);
+    mem_.load(std::memory_order_seq_cst)->Add(key, value, seq, type);
+  }
+  PublishInOrder(seq);
+  {
+    // Global mutex at the end of the operation.
+    std::lock_guard<std::mutex> db(db_mu_);
+  }
+  return Status::OK();
+}
+
+Status BaselineStore::WriteClsm(const Slice& key, const Slice& value, ValueType type) {
+  while (true) {
+    uint64_t seq = 0;
+    bool inserted = false;
+    {
+      std::shared_lock<std::shared_mutex> shared(clsm_mu_);
+      RcuReadGuard guard(rcu_);
+      BaselineMemTable* mem = mem_.load(std::memory_order_seq_cst);
+      if (!mem->OverTarget()) {
+        seq = seq_.fetch_add(1, std::memory_order_acq_rel);
+        mem->Add(key, value, seq, type);
+        inserted = true;
+      }
+    }
+    if (inserted) {
+      PublishInOrder(seq);  // outside all locks
+      return Status::OK();
+    }
+    EnsureRoom();  // takes the lock exclusively for the switch
+  }
+}
+
+Status BaselineStore::Get(const Slice& key, std::string* value) {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+
+  const bool global_lock_reads = options_.concurrency == Concurrency::kLevelDB ||
+                                 options_.concurrency == Concurrency::kHyperLevelDB;
+  std::shared_lock<std::shared_mutex> clsm_shared(clsm_mu_, std::defer_lock);
+  if (options_.concurrency == Concurrency::kCLSM) {
+    clsm_shared.lock();
+  }
+  if (global_lock_reads) {
+    // Critical section #1: reference the memory components / metadata.
+    std::lock_guard<std::mutex> db(db_mu_);
+  }
+
+  ValueType type = ValueType::kValue;
+  uint64_t seq = 0;
+  bool found = false;
+  {
+    RcuReadGuard guard(rcu_);
+    for (BaselineMemTable* table : {mem_.load(std::memory_order_seq_cst),
+                                    imm_.load(std::memory_order_seq_cst)}) {
+      if (table != nullptr && table->Get(key, UINT64_MAX, value, &seq, &type)) {
+        found = true;
+        break;
+      }
+    }
+  }
+  Status result = Status::NotFound();
+  if (found) {
+    result = type == ValueType::kTombstone ? Status::NotFound() : Status::OK();
+  } else if (disk_ != nullptr) {
+    Status s = disk_->Get(key, value, &seq, &type);
+    if (s.ok()) {
+      result = type == ValueType::kTombstone ? Status::NotFound() : Status::OK();
+    } else if (!s.IsNotFound()) {
+      result = s;
+    }
+  }
+
+  if (global_lock_reads) {
+    // Critical section #2: drop references (LevelDB's unref pattern).
+    std::lock_guard<std::mutex> db(db_mu_);
+  }
+  return result;
+}
+
+Status BaselineStore::Scan(const Slice& low_key, const Slice& high_key, size_t limit,
+                           std::vector<std::pair<std::string, std::string>>* out) {
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  out->clear();
+
+  const bool global_lock_reads = options_.concurrency == Concurrency::kLevelDB ||
+                                 options_.concurrency == Concurrency::kHyperLevelDB;
+  std::shared_lock<std::shared_mutex> clsm_shared(clsm_mu_, std::defer_lock);
+  if (options_.concurrency == Concurrency::kCLSM) {
+    clsm_shared.lock();
+  }
+  if (global_lock_reads) {
+    std::lock_guard<std::mutex> db(db_mu_);
+  }
+
+  // Multi-versioning gives baselines point-in-time scans for free: pick a
+  // snapshot and ignore newer versions.
+  const uint64_t snapshot = committed_seq_.load(std::memory_order_acquire);
+  {
+    RcuReadGuard guard(rcu_);
+    std::vector<std::unique_ptr<Iterator>> children;
+    for (BaselineMemTable* table : {mem_.load(std::memory_order_seq_cst),
+                                    imm_.load(std::memory_order_seq_cst)}) {
+      if (table != nullptr) {
+        children.push_back(table->NewSortedIterator());
+      }
+    }
+    if (disk_ != nullptr) {
+      children.push_back(disk_->NewIterator());
+    }
+    std::unique_ptr<Iterator> merged = NewMergingIterator(std::move(children));
+
+    std::string last_key;
+    bool has_last = false;
+    for (merged->Seek(low_key); merged->Valid(); merged->Next()) {
+      if (!high_key.empty() && merged->key().compare(high_key) >= 0) {
+        break;
+      }
+      if (merged->seq() > snapshot) {
+        continue;  // newer than our snapshot: invisible
+      }
+      if (has_last && merged->key() == Slice(last_key)) {
+        continue;  // older version of an emitted key
+      }
+      last_key.assign(merged->key().data(), merged->key().size());
+      has_last = true;
+      if (merged->type() == ValueType::kTombstone) {
+        continue;
+      }
+      out->emplace_back(last_key, merged->value().ToString());
+      if (limit != 0 && out->size() >= limit) {
+        break;
+      }
+    }
+  }
+
+  if (global_lock_reads) {
+    std::lock_guard<std::mutex> db(db_mu_);
+  }
+  return Status::OK();
+}
+
+void BaselineStore::FlushLoop() {
+  while (true) {
+    BaselineMemTable* imm;
+    {
+      std::unique_lock<std::mutex> lock(flush_mu_);
+      flush_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               imm_.load(std::memory_order_seq_cst) != nullptr;
+      });
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    imm = imm_.load(std::memory_order_seq_cst);
+    if (imm == nullptr) {
+      continue;
+    }
+    // For hash memtables this is where the linearithmic collect+sort
+    // happens — the flush delay of Figure 4.
+    std::unique_ptr<Iterator> iter = imm->NewSortedIterator();
+    if (disk_ != nullptr) {
+      Status s = disk_->AddRun(iter.get());
+      if (!s.ok() && !s.IsAborted()) {
+        fprintf(stderr, "baseline: flush failed: %s\n", s.ToString().c_str());
+      }
+    }
+    imm_.store(nullptr, std::memory_order_seq_cst);
+    rcu_.Synchronize();  // readers may still hold the pointer
+    delete imm;
+    room_cv_.notify_all();
+  }
+}
+
+Status BaselineStore::FlushAll() {
+  while (true) {
+    bool empty;
+    {
+      std::unique_lock<std::mutex> db(db_mu_);
+      BaselineMemTable* mem = mem_.load(std::memory_order_seq_cst);
+      if (mem->Count() > 0 && imm_.load(std::memory_order_seq_cst) == nullptr) {
+        SwapMemtableLocked();
+      }
+      empty = mem_.load(std::memory_order_seq_cst)->Count() == 0 &&
+              imm_.load(std::memory_order_seq_cst) == nullptr;
+    }
+    if (empty) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (disk_ != nullptr) {
+    disk_->WaitForCompactions();
+  }
+  return Status::OK();
+}
+
+StoreStats BaselineStore::GetStats() const {
+  StoreStats stats;
+  stats.puts = puts_.load(std::memory_order_relaxed);
+  stats.gets = gets_.load(std::memory_order_relaxed);
+  stats.deletes = deletes_.load(std::memory_order_relaxed);
+  stats.scans = scans_.load(std::memory_order_relaxed);
+  if (disk_ != nullptr) {
+    stats.disk = disk_->GetStats();
+  }
+  return stats;
+}
+
+}  // namespace flodb

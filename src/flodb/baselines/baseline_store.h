@@ -1,0 +1,134 @@
+// BaselineStore: one engine, four synchronization designs — behavioural
+// re-implementations of the systems FloDB is evaluated against (§2.2):
+//
+//  * kLevelDB       — single-writer design: writers deposit intended
+//                     writes in a queue; the queue leader applies a group
+//                     sequentially. Readers take the global mutex briefly
+//                     at the START and END of every operation.
+//  * kHyperLevelDB  — concurrent memtable inserts, but a global mutex at
+//                     the start and end of each write plus IN-ORDER
+//                     version publication (each writer waits for its
+//                     predecessor's sequence number to commit).
+//  * kRocksDB       — lock-free read path (no global mutex on Gets),
+//                     single-writer group commit for writes, and
+//                     MULTITHREADED compaction (disk.compaction_threads).
+//                     memtable_kind selects skiplist (Fig 3) or hash
+//                     table (Fig 4) memtables.
+//  * kCLSM          — global shared-exclusive lock: all operations take
+//                     it shared; memtable switches take it exclusive
+//                     ("RocksDB/cLSM" series in the figures).
+//
+// All four share the same multi-versioned BaselineMemTable and the same
+// DiskComponent as FloDB, so differences in the figures come from the
+// memory-component design — exactly the paper's claim.
+
+#ifndef FLODB_BASELINES_BASELINE_STORE_H_
+#define FLODB_BASELINES_BASELINE_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flodb/baselines/baseline_memtable.h"
+#include "flodb/core/kv_store.h"
+#include "flodb/disk/disk_component.h"
+#include "flodb/sync/rcu.h"
+
+namespace flodb {
+
+struct BaselineOptions {
+  enum class Concurrency { kLevelDB, kHyperLevelDB, kRocksDB, kCLSM };
+
+  std::string name = "Baseline";
+  Concurrency concurrency = Concurrency::kLevelDB;
+  BaselineMemTable::Kind memtable_kind = BaselineMemTable::Kind::kSkipList;
+
+  size_t memtable_bytes = 4u << 20;
+  size_t write_group_max = 64;
+  bool enable_persistence = true;
+  DiskOptions disk;
+};
+
+class BaselineStore final : public KVStore {
+ public:
+  static Status Open(const BaselineOptions& options, std::unique_ptr<BaselineStore>* out);
+  ~BaselineStore() override;
+
+  BaselineStore(const BaselineStore&) = delete;
+  BaselineStore& operator=(const BaselineStore&) = delete;
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Scan(const Slice& low_key, const Slice& high_key, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out) override;
+  Status FlushAll() override;
+  StoreStats GetStats() const override;
+  std::string Name() const override { return options_.name; }
+
+  uint64_t CommittedSeq() const { return committed_seq_.load(std::memory_order_acquire); }
+
+ private:
+  struct Writer {
+    Slice key;
+    Slice value;
+    ValueType type;
+    bool done = false;
+    Status status;
+  };
+
+  explicit BaselineStore(const BaselineOptions& options);
+
+  Status Update(const Slice& key, const Slice& value, ValueType type);
+  Status WriteSingleWriter(const Slice& key, const Slice& value, ValueType type);
+  Status WriteHyper(const Slice& key, const Slice& value, ValueType type);
+  Status WriteClsm(const Slice& key, const Slice& value, ValueType type);
+
+  // Blocks until the active memtable has room; swaps in a new one (and
+  // hands the full one to the flush thread) when needed.
+  void EnsureRoom();
+  void SwapMemtableLocked();  // REQUIRES db_mu_; imm slot must be free
+  void AdvanceCommitted(uint64_t seq);
+  void PublishInOrder(uint64_t seq);
+
+  void FlushLoop();
+
+  BaselineMemTable* NewMemTable() const {
+    return new BaselineMemTable(options_.memtable_kind, options_.memtable_bytes);
+  }
+
+  const BaselineOptions options_;
+
+  Rcu rcu_;  // safe memtable reclamation (stand-in for refcounted versions)
+  std::atomic<BaselineMemTable*> mem_{nullptr};
+  std::atomic<BaselineMemTable*> imm_{nullptr};
+  std::unique_ptr<DiskComponent> disk_;
+
+  std::atomic<uint64_t> seq_{1};
+  std::atomic<uint64_t> committed_seq_{0};
+
+  std::mutex db_mu_;                // the global mutex of LevelDB/Hyper
+  std::condition_variable room_cv_;  // imm slot freed
+  std::shared_mutex clsm_mu_;       // cLSM's shared-exclusive lock
+
+  std::mutex writers_mu_;
+  std::condition_variable writers_cv_;
+  std::deque<Writer*> writers_;
+
+  std::thread flush_thread_;
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  std::atomic<bool> stop_{false};
+
+  mutable std::atomic<uint64_t> puts_{0}, gets_{0}, deletes_{0}, scans_{0};
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_BASELINES_BASELINE_STORE_H_

@@ -1,0 +1,20 @@
+#include "flodb/baselines/hyperleveldb_like.h"
+
+namespace flodb {
+
+Status OpenHyperLevelDBLike(size_t memtable_bytes, const DiskOptions& disk,
+                            std::unique_ptr<KVStore>* out) {
+  BaselineOptions options;
+  options.name = "HyperLevelDB-like";
+  options.concurrency = BaselineOptions::Concurrency::kHyperLevelDB;
+  options.memtable_kind = BaselineMemTable::Kind::kSkipList;
+  options.memtable_bytes = memtable_bytes;
+  options.disk = disk;
+  options.disk.compaction_threads = 1;
+  std::unique_ptr<BaselineStore> store;
+  Status s = BaselineStore::Open(options, &store);
+  *out = std::move(store);
+  return s;
+}
+
+}  // namespace flodb

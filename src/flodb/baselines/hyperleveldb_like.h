@@ -1,0 +1,19 @@
+// HyperLevelDB-like baseline: concurrent memtable inserts, global mutex at
+// the start and end of each write, in-order version publication (§2.2,
+// "HyperLevelDB"). Factory over BaselineStore.
+
+#ifndef FLODB_BASELINES_HYPERLEVELDB_LIKE_H_
+#define FLODB_BASELINES_HYPERLEVELDB_LIKE_H_
+
+#include <memory>
+
+#include "flodb/baselines/baseline_store.h"
+
+namespace flodb {
+
+Status OpenHyperLevelDBLike(size_t memtable_bytes, const DiskOptions& disk,
+                            std::unique_ptr<KVStore>* out);
+
+}  // namespace flodb
+
+#endif  // FLODB_BASELINES_HYPERLEVELDB_LIKE_H_

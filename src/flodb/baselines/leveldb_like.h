@@ -1,0 +1,20 @@
+// LevelDB-like baseline: single-writer queue with a group-commit leader,
+// global mutex bracketing every read (§2.2, "LevelDB"). Factory over
+// BaselineStore.
+
+#ifndef FLODB_BASELINES_LEVELDB_LIKE_H_
+#define FLODB_BASELINES_LEVELDB_LIKE_H_
+
+#include <memory>
+
+#include "flodb/baselines/baseline_store.h"
+
+namespace flodb {
+
+// memtable_bytes: single-level memory component size.
+Status OpenLevelDBLike(size_t memtable_bytes, const DiskOptions& disk,
+                       std::unique_ptr<KVStore>* out);
+
+}  // namespace flodb
+
+#endif  // FLODB_BASELINES_LEVELDB_LIKE_H_

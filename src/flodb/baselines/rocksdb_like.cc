@@ -1,0 +1,21 @@
+#include "flodb/baselines/rocksdb_like.h"
+
+namespace flodb {
+
+Status OpenRocksDBLike(const RocksDBLikeConfig& config, const DiskOptions& disk,
+                       std::unique_ptr<KVStore>* out) {
+  BaselineOptions options;
+  options.name = config.clsm_mode ? "RocksDB/cLSM-like" : "RocksDB-like";
+  options.concurrency = config.clsm_mode ? BaselineOptions::Concurrency::kCLSM
+                                         : BaselineOptions::Concurrency::kRocksDB;
+  options.memtable_kind = config.memtable_kind;
+  options.memtable_bytes = config.memtable_bytes;
+  options.disk = disk;
+  options.disk.compaction_threads = config.compaction_threads;
+  std::unique_ptr<BaselineStore> store;
+  Status s = BaselineStore::Open(options, &store);
+  *out = std::move(store);
+  return s;
+}
+
+}  // namespace flodb

@@ -1,0 +1,29 @@
+// RocksDB-like baseline: lock-free reads, single-writer group commit,
+// multithreaded compaction (§2.2, "RocksDB"). Variants:
+//  * memtable kind skiplist (default; Figure 3) or hash table (Figure 4,
+//    "Hash-based memtable implementations" [7]);
+//  * cLSM mode ("RocksDB/cLSM" [13]): global shared-exclusive lock with
+//    concurrent writes.
+
+#ifndef FLODB_BASELINES_ROCKSDB_LIKE_H_
+#define FLODB_BASELINES_ROCKSDB_LIKE_H_
+
+#include <memory>
+
+#include "flodb/baselines/baseline_store.h"
+
+namespace flodb {
+
+struct RocksDBLikeConfig {
+  size_t memtable_bytes = 4u << 20;
+  BaselineMemTable::Kind memtable_kind = BaselineMemTable::Kind::kSkipList;
+  bool clsm_mode = false;
+  int compaction_threads = 2;  // RocksDB: multithreaded merging
+};
+
+Status OpenRocksDBLike(const RocksDBLikeConfig& config, const DiskOptions& disk,
+                       std::unique_ptr<KVStore>* out);
+
+}  // namespace flodb
+
+#endif  // FLODB_BASELINES_ROCKSDB_LIKE_H_

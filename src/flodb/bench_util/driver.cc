@@ -1,0 +1,124 @@
+#include "flodb/bench_util/driver.h"
+
+#include <atomic>
+#include <thread>
+
+#include "flodb/common/clock.h"
+#include "flodb/common/key_codec.h"
+
+namespace flodb::bench {
+
+namespace {
+
+struct ThreadTotals {
+  uint64_t gets = 0, puts = 0, deletes = 0, scans = 0, keys = 0;
+  LatencyRecorder read_lat;
+  LatencyRecorder write_lat;
+};
+
+void WorkerLoop(KVStore* store, const WorkloadSpec& spec, int thread_id, double seconds,
+                uint64_t ops_limit, bool record_latency, std::atomic<bool>* stop,
+                ThreadTotals* totals) {
+  WorkloadGenerator gen(spec, thread_id);
+  KeyBuf key_buf;
+  KeyBuf high_buf;
+  std::string value;
+  std::vector<std::pair<std::string, std::string>> scan_out;
+  const uint64_t deadline = NowNanos() + static_cast<uint64_t>(seconds * 1e9);
+
+  uint64_t check = 0;
+  while (true) {
+    ++check;
+    if (ops_limit != 0) {
+      if (check > ops_limit) {
+        break;
+      }
+    } else if ((check & 0x3f) == 0 &&
+               (NowNanos() >= deadline || stop->load(std::memory_order_relaxed))) {
+      break;
+    }
+    const OpType op = gen.NextOp();
+    const uint64_t logical_key = gen.NextKey();
+    const uint64_t key = SpreadKey(logical_key, spec.key_space);
+    const uint64_t t0 = record_latency ? NowNanos() : 0;
+    switch (op) {
+      case OpType::kGet:
+        store->Get(key_buf.Set(key), &value);
+        ++totals->gets;
+        ++totals->keys;
+        if (record_latency) {
+          totals->read_lat.Record(NowNanos() - t0);
+        }
+        break;
+      case OpType::kPut:
+        store->Put(key_buf.Set(key), gen.NextValue());
+        ++totals->puts;
+        ++totals->keys;
+        if (record_latency) {
+          totals->write_lat.Record(NowNanos() - t0);
+        }
+        break;
+      case OpType::kDelete:
+        store->Delete(key_buf.Set(key));
+        ++totals->deletes;
+        ++totals->keys;
+        if (record_latency) {
+          totals->write_lat.Record(NowNanos() - t0);
+        }
+        break;
+      case OpType::kScan: {
+        const uint64_t high = SpreadKey(logical_key + spec.scan_length, spec.key_space);
+        store->Scan(key_buf.Set(key), high_buf.Set(high < key ? UINT64_MAX : high),
+                    spec.scan_length, &scan_out);
+        ++totals->scans;
+        // Key-throughput accounting as in Golan-Gueta et al. (§5.2).
+        totals->keys += spec.scan_length;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DriverResult RunWorkload(KVStore* store, const WorkloadSpec& spec, const DriverOptions& options) {
+  std::vector<ThreadTotals> totals(static_cast<size_t>(options.threads));
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+
+  const uint64_t start = NowNanos();
+  for (int t = 0; t < options.threads; ++t) {
+    const WorkloadSpec& thread_spec =
+        (options.two_role && t == 0) ? options.writer_spec : spec;
+    threads.emplace_back(WorkerLoop, store, thread_spec, t, options.seconds,
+                         options.ops_per_thread, options.record_latency, &stop,
+                         &totals[static_cast<size_t>(t)]);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double elapsed = SecondsSince(start);
+
+  DriverResult result;
+  result.elapsed_seconds = elapsed;
+  LatencyRecorder reads, writes;
+  for (ThreadTotals& t : totals) {
+    result.gets += t.gets;
+    result.puts += t.puts;
+    result.deletes += t.deletes;
+    result.scans += t.scans;
+    result.keys_accessed += t.keys;
+    reads.Merge(t.read_lat);
+    writes.Merge(t.write_lat);
+  }
+  result.ops = result.gets + result.puts + result.deletes + result.scans;
+  if (options.record_latency) {
+    result.read_p50 = reads.PercentileNanos(50);
+    result.read_p99 = reads.PercentileNanos(99);
+    result.write_p50 = writes.PercentileNanos(50);
+    result.write_p99 = writes.PercentileNanos(99);
+  }
+  return result;
+}
+
+}  // namespace flodb::bench

@@ -1,0 +1,33 @@
+#include "flodb/bench_util/latency.h"
+
+#include <algorithm>
+
+namespace flodb::bench {
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  count_ += other.count_;
+  for (uint64_t sample : other.samples_) {
+    if (samples_.size() < capacity_) {
+      samples_.push_back(sample);
+    } else {
+      const uint64_t slot = rng_.Uniform(samples_.size() * 2);
+      if (slot < samples_.size()) {
+        samples_[slot] = sample;
+      }
+    }
+  }
+}
+
+uint64_t LatencyRecorder::PercentileNanos(double p) {
+  if (samples_.empty()) {
+    return 0;
+  }
+  std::sort(samples_.begin(), samples_.end());
+  double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  if (rank < 0) {
+    rank = 0;
+  }
+  return samples_[static_cast<size_t>(rank)];
+}
+
+}  // namespace flodb::bench

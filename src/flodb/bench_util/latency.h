@@ -1,0 +1,50 @@
+// Reservoir-sampled latency recorder; cheap enough for the hot path and
+// merges across threads to report medians/percentiles (Figures 3/4).
+
+#ifndef FLODB_BENCH_UTIL_LATENCY_H_
+#define FLODB_BENCH_UTIL_LATENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "flodb/common/random.h"
+
+namespace flodb::bench {
+
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(size_t capacity = 1 << 16) : rng_(0x1a7e) {
+    samples_.reserve(capacity);
+    capacity_ = capacity;
+  }
+
+  void Record(uint64_t nanos) {
+    ++count_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(nanos);
+      return;
+    }
+    // Reservoir sampling keeps a uniform sample of the full stream.
+    const uint64_t slot = rng_.Uniform(count_);
+    if (slot < capacity_) {
+      samples_[slot] = nanos;
+    }
+  }
+
+  void Merge(const LatencyRecorder& other);
+
+  // p in [0, 100]; returns 0 if no samples. Sorts lazily.
+  uint64_t PercentileNanos(double p);
+
+  uint64_t Count() const { return count_; }
+
+ private:
+  size_t capacity_;
+  uint64_t count_ = 0;
+  std::vector<uint64_t> samples_;
+  Random64 rng_;
+};
+
+}  // namespace flodb::bench
+
+#endif  // FLODB_BENCH_UTIL_LATENCY_H_

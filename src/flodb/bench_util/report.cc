@@ -1,0 +1,66 @@
+#include "flodb/bench_util/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace flodb::bench {
+
+double EnvDouble(const char* name, double def) {
+  const char* v = getenv(name);
+  return (v == nullptr || *v == '\0') ? def : atof(v);
+}
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = getenv(name);
+  return (v == nullptr || *v == '\0') ? def : atoll(v);
+}
+
+Report::Report(std::string figure_id, std::string title) : figure_id_(std::move(figure_id)) {
+  printf("\n== %s: %s ==\n", figure_id_.c_str(), title.c_str());
+}
+
+void Report::Header(const std::vector<std::string>& columns) {
+  widths_.clear();
+  for (const std::string& c : columns) {
+    widths_.push_back(c.size() < 12 ? 12 : c.size() + 2);
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    printf("%-*s", static_cast<int>(widths_[i]), columns[i].c_str());
+  }
+  printf("\n");
+  size_t total = 0;
+  for (size_t w : widths_) {
+    total += w;
+  }
+  for (size_t i = 0; i < total; ++i) {
+    putchar('-');
+  }
+  printf("\n");
+}
+
+void Report::Row(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const size_t w = i < widths_.size() ? widths_[i] : 12;
+    printf("%-*s", static_cast<int>(w), cells[i].c_str());
+  }
+  printf("\n");
+  fflush(stdout);
+}
+
+void Report::Csv(const std::vector<std::string>& cells) {
+  printf("CSV,%s", figure_id_.c_str());
+  for (const std::string& c : cells) {
+    printf(",%s", c.c_str());
+  }
+  printf("\n");
+  fflush(stdout);
+}
+
+std::string Report::Fmt(double v, int precision) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace flodb::bench

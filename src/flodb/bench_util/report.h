@@ -1,0 +1,39 @@
+// Figure-style output helpers: every bench binary prints a human-readable
+// table plus machine-readable CSV rows tagged with the figure id, so
+// results can be diffed against the paper's curves.
+
+#ifndef FLODB_BENCH_UTIL_REPORT_H_
+#define FLODB_BENCH_UTIL_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flodb::bench {
+
+// Reads an environment override (benchmark scaling knobs), or `def`.
+double EnvDouble(const char* name, double def);
+int64_t EnvInt(const char* name, int64_t def);
+
+// Prints "== <figure>: <title> ==" and remembers the figure id for rows.
+class Report {
+ public:
+  Report(std::string figure_id, std::string title);
+
+  // Human-readable aligned columns.
+  void Header(const std::vector<std::string>& columns);
+  void Row(const std::vector<std::string>& cells);
+
+  // CSV line: "<figure_id>,<cells...>".
+  void Csv(const std::vector<std::string>& cells);
+
+  static std::string Fmt(double v, int precision = 3);
+
+ private:
+  std::string figure_id_;
+  std::vector<size_t> widths_;
+};
+
+}  // namespace flodb::bench
+
+#endif  // FLODB_BENCH_UTIL_REPORT_H_

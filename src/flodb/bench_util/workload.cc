@@ -1,0 +1,97 @@
+#include "flodb/bench_util/workload.h"
+
+#include "flodb/common/key_codec.h"
+
+namespace flodb::bench {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec, int thread_id)
+    : spec_(spec), rng_(spec.seed * 0x9e3779b9u + static_cast<uint64_t>(thread_id) * 7919u + 1) {
+  value_buf_.resize(spec_.value_bytes);
+  for (size_t i = 0; i < value_buf_.size(); ++i) {
+    value_buf_[i] = static_cast<char>('a' + (i + static_cast<size_t>(thread_id)) % 26);
+  }
+}
+
+OpType WorkloadGenerator::NextOp() {
+  const double r = rng_.NextDouble();
+  if (r < spec_.get_fraction) {
+    return OpType::kGet;
+  }
+  if (r < spec_.get_fraction + spec_.put_fraction) {
+    return OpType::kPut;
+  }
+  if (r < spec_.get_fraction + spec_.put_fraction + spec_.delete_fraction) {
+    return OpType::kDelete;
+  }
+  return OpType::kScan;
+}
+
+uint64_t WorkloadGenerator::NextKey() {
+  if (!spec_.skewed) {
+    return rng_.Uniform(spec_.key_space);
+  }
+  const auto hot_keys =
+      static_cast<uint64_t>(static_cast<double>(spec_.key_space) * spec_.hot_key_fraction);
+  if (rng_.NextDouble() < spec_.hot_access_fraction && hot_keys > 0) {
+    return rng_.Uniform(hot_keys);
+  }
+  const uint64_t cold = spec_.key_space - hot_keys;
+  return cold == 0 ? rng_.Uniform(spec_.key_space) : hot_keys + rng_.Uniform(cold);
+}
+
+Slice WorkloadGenerator::NextValue() {
+  // Perturb a few bytes so repeated writes differ without a full rewrite.
+  if (!value_buf_.empty()) {
+    value_salt_ = MixU64(value_salt_ + 1);
+    value_buf_[value_salt_ % value_buf_.size()] =
+        static_cast<char>('A' + (value_salt_ % 26));
+  }
+  return Slice(value_buf_);
+}
+
+std::string ValueForKey(uint64_t key, size_t value_bytes) {
+  std::string value(value_bytes, '\0');
+  uint64_t state = MixU64(key + 0x5eedf00d);
+  for (size_t i = 0; i < value_bytes; ++i) {
+    value[i] = static_cast<char>('a' + (state % 26));
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return value;
+}
+
+namespace {
+
+// Multiplicative permutation of [0, n): i -> i * prime mod n with prime
+// coprime to n; close enough to random order for layout purposes.
+uint64_t Permute(uint64_t i, uint64_t n) {
+  constexpr uint64_t kPrime = 2654435761u;  // Knuth's multiplicative hash
+  return (i * kPrime + 0x1234567) % n;
+}
+
+}  // namespace
+
+Status LoadRandomOrder(KVStore* store, uint64_t count, uint64_t key_space, size_t value_bytes) {
+  KeyBuf key_buf;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t key = SpreadKey(Permute(i, key_space), key_space);
+    Status s = store->Put(key_buf.Set(key), ValueForKey(key, value_bytes));
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadSequential(KVStore* store, uint64_t count, size_t value_bytes) {
+  KeyBuf key_buf;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t key = SpreadKey(i, count);
+    Status s = store->Put(key_buf.Set(key), ValueForKey(key, value_bytes));
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace flodb::bench

@@ -1,0 +1,82 @@
+// Workload generation for the evaluation harness (§5.1/§5.2):
+// uniform or hotspot-skewed key draws over a fixed key space, operation
+// mixes (reads / inserts / deletes / scans), deterministic values, and the
+// database initialization recipes the paper uses (random-order half-load
+// for mixed workloads, sorted full load for read-only).
+
+#ifndef FLODB_BENCH_UTIL_WORKLOAD_H_
+#define FLODB_BENCH_UTIL_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "flodb/common/random.h"
+#include "flodb/common/slice.h"
+#include "flodb/core/kv_store.h"
+
+namespace flodb::bench {
+
+enum class OpType { kGet, kPut, kDelete, kScan };
+
+struct WorkloadSpec {
+  // Operation mix; fractions must sum to ~1.
+  double get_fraction = 0.0;
+  double put_fraction = 0.0;
+  double delete_fraction = 0.0;
+  double scan_fraction = 0.0;
+
+  uint64_t key_space = 100'000;
+  size_t value_bytes = 64;   // paper: 256B values, 8B keys (scaled here)
+  size_t scan_length = 100;  // keys per scan (Figure 13: 100)
+
+  // Hotspot skew: `hot_access_fraction` of key draws land in the first
+  // `hot_key_fraction` of the key space (paper §5.4: 98% of ops on 2%).
+  bool skewed = false;
+  double hot_key_fraction = 0.02;
+  double hot_access_fraction = 0.98;
+
+  uint64_t seed = 42;
+};
+
+// Per-thread generator (no shared state, deterministic per (seed, thread)).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadSpec& spec, int thread_id);
+
+  OpType NextOp();
+  uint64_t NextKey();
+
+  // A value buffer permuted per call (cheap, avoids memset per op).
+  Slice NextValue();
+
+ private:
+  const WorkloadSpec spec_;
+  Random64 rng_;
+  std::string value_buf_;
+  uint64_t value_salt_ = 0;
+};
+
+// Deterministic value contents for key k (tests verify round-trips).
+std::string ValueForKey(uint64_t key, size_t value_bytes);
+
+// Maps a dense logical key in [0, key_space) onto the full 64-bit domain,
+// preserving order and uniform spacing. The paper's datasets use random
+// 8-byte keys over the whole domain; dense 0..N keys would all share the
+// same top bits and collapse into one Membuffer partition. All benchmark
+// paths (loads, gets, scans) must go through this mapping.
+inline uint64_t SpreadKey(uint64_t key, uint64_t key_space) {
+  const uint64_t stride = key_space > 0 ? (~uint64_t{0}) / key_space : 1;
+  return key * stride;
+}
+
+// Inserts `count` keys drawn as a pseudo-random permutation of
+// [0, key_space) — the paper's "inserted in random order" initialization.
+Status LoadRandomOrder(KVStore* store, uint64_t count, uint64_t key_space, size_t value_bytes);
+
+// Inserts keys 0..count-1 in ascending order — the paper's sequential
+// initialization for the read-only experiment (optimal on-disk layout).
+Status LoadSequential(KVStore* store, uint64_t count, size_t value_bytes);
+
+}  // namespace flodb::bench
+
+#endif  // FLODB_BENCH_UTIL_WORKLOAD_H_

@@ -1,0 +1,26 @@
+// Monotonic time helpers shared by benchmarks and background threads.
+
+#ifndef FLODB_COMMON_CLOCK_H_
+#define FLODB_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace flodb {
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t NowMicros() { return NowNanos() / 1000; }
+
+inline double SecondsSince(uint64_t start_nanos) {
+  return static_cast<double>(NowNanos() - start_nanos) * 1e-9;
+}
+
+}  // namespace flodb
+
+#endif  // FLODB_COMMON_CLOCK_H_

@@ -1,0 +1,68 @@
+// Little-endian fixed-width and varint encoders/decoders.
+//
+// These are the primitives for every on-disk format in the store (SSTable
+// blocks, WAL records, MANIFEST snapshots). Varints use the standard
+// 7-bits-per-byte, high-bit-continues encoding.
+
+#ifndef FLODB_COMMON_CODING_H_
+#define FLODB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "flodb/common/slice.h"
+
+namespace flodb {
+
+// -------- fixed-width --------
+
+inline void EncodeFixed32(char* dst, uint32_t value) { memcpy(dst, &value, sizeof(value)); }
+inline void EncodeFixed64(char* dst, uint64_t value) { memcpy(dst, &value, sizeof(value)); }
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+// -------- varint --------
+
+// Max encoded sizes.
+inline constexpr int kMaxVarint32Bytes = 5;
+inline constexpr int kMaxVarint64Bytes = 10;
+
+// Encodes into dst, returns pointer just past the last written byte.
+char* EncodeVarint32(char* dst, uint32_t value);
+char* EncodeVarint64(char* dst, uint64_t value);
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+// Appends varint32 length followed by the bytes of value.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+// Decoders return pointer past the parsed value, or nullptr on malformed
+// input / truncated buffer.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+// Slice-advancing variants: consume the parsed bytes from *input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+int VarintLength(uint64_t v);
+
+}  // namespace flodb
+
+#endif  // FLODB_COMMON_CODING_H_

@@ -1,0 +1,39 @@
+// Hash functions used across the store.
+//
+// Hash64 is an xxhash64-style avalanche mixer used by the Membuffer for
+// bucket placement; Hash32 is a Murmur-style hash used by bloom filters.
+// Both are seeded so independent consumers decorrelate.
+
+#ifndef FLODB_COMMON_HASH_H_
+#define FLODB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "flodb/common/slice.h"
+
+namespace flodb {
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed);
+uint32_t Hash32(const char* data, size_t n, uint32_t seed);
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+inline uint32_t Hash32(const Slice& s, uint32_t seed = 0) {
+  return Hash32(s.data(), s.size(), seed);
+}
+
+// Finalizer-style mix of a 64-bit integer (splitmix64 finale); useful for
+// hashing already-integral keys without touching memory.
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace flodb
+
+#endif  // FLODB_COMMON_HASH_H_

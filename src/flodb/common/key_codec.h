@@ -1,0 +1,58 @@
+// Integer <-> ordered byte-string key codec.
+//
+// Benchmarks and examples address the store with uint64 keys. Encoding
+// them big-endian makes lexicographic Slice order equal numeric order,
+// which scans and the paper's "neighborhood" partitioning rely on
+// (the Membuffer partitions on the top `l` bits of the key; see
+// membuffer.h).
+
+#ifndef FLODB_COMMON_KEY_CODEC_H_
+#define FLODB_COMMON_KEY_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "flodb/common/slice.h"
+
+namespace flodb {
+
+inline constexpr size_t kEncodedKeyBytes = 8;
+
+inline void EncodeKeyTo(uint64_t key, char* dst) {
+  for (int i = 7; i >= 0; --i) {
+    dst[i] = static_cast<char>(key & 0xff);
+    key >>= 8;
+  }
+}
+
+inline std::string EncodeKey(uint64_t key) {
+  std::string s(kEncodedKeyBytes, '\0');
+  EncodeKeyTo(key, s.data());
+  return s;
+}
+
+// Returns the numeric key; input must be exactly 8 bytes (checked by
+// callers in debug builds).
+inline uint64_t DecodeKey(const Slice& s) {
+  uint64_t v = 0;
+  const size_t n = s.size() < 8 ? s.size() : 8;
+  for (size_t i = 0; i < n; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(s[i]);
+  }
+  return v;
+}
+
+// A reusable stack buffer for hot paths that must not allocate.
+struct KeyBuf {
+  char data[kEncodedKeyBytes];
+
+  Slice Set(uint64_t key) {
+    EncodeKeyTo(key, data);
+    return Slice(data, kEncodedKeyBytes);
+  }
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_COMMON_KEY_CODEC_H_

@@ -1,0 +1,56 @@
+// Fast per-thread pseudo-random generators for workloads and skiplist
+// level selection. Not cryptographic. xoshiro256** core.
+
+#ifndef FLODB_COMMON_RANDOM_H_
+#define FLODB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "flodb/common/hash.h"
+
+namespace flodb {
+
+class Random64 {
+ public:
+  explicit Random64(uint64_t seed) {
+    // splitmix64 seeding avoids correlated lanes for nearby seeds.
+    uint64_t x = seed + 0x9e3779b97f4a7c15ULL;
+    for (auto& lane : s_) {
+      x = MixU64(x);
+      lane = x | 1;  // never all-zero state
+      x += 0x9e3779b97f4a7c15ULL;
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Returns true with probability num/den.
+  bool OneIn(uint64_t den) { return Uniform(den) == 0; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_COMMON_RANDOM_H_

@@ -1,0 +1,44 @@
+#include "flodb/common/status.h"
+
+namespace flodb {
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  const char* type = "Unknown";
+  switch (rep_->code) {
+    case Code::kOk:
+      type = "OK";
+      break;
+    case Code::kNotFound:
+      type = "NotFound";
+      break;
+    case Code::kCorruption:
+      type = "Corruption";
+      break;
+    case Code::kNotSupported:
+      type = "NotSupported";
+      break;
+    case Code::kInvalidArgument:
+      type = "InvalidArgument";
+      break;
+    case Code::kIOError:
+      type = "IOError";
+      break;
+    case Code::kBusy:
+      type = "Busy";
+      break;
+    case Code::kAborted:
+      type = "Aborted";
+      break;
+  }
+  std::string result(type);
+  if (!rep_->message.empty()) {
+    result += ": ";
+    result += rep_->message;
+  }
+  return result;
+}
+
+}  // namespace flodb

@@ -1,0 +1,71 @@
+// Status: the error-reporting currency of the library (no exceptions).
+//
+// Mirrors the classic LevelDB/Abseil shape: a cheap OK value plus a coded
+// error with a human-readable message. All fallible public APIs return
+// Status (or fill an out-parameter and return Status).
+
+#ifndef FLODB_COMMON_STATUS_H_
+#define FLODB_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "flodb/common/slice.h"
+
+namespace flodb {
+
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+    kAborted = 7,
+  };
+
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg = Slice()) { return Status(Code::kNotFound, msg); }
+  static Status Corruption(const Slice& msg) { return Status(Code::kCorruption, msg); }
+  static Status NotSupported(const Slice& msg) { return Status(Code::kNotSupported, msg); }
+  static Status InvalidArgument(const Slice& msg) { return Status(Code::kInvalidArgument, msg); }
+  static Status IOError(const Slice& msg) { return Status(Code::kIOError, msg); }
+  static Status Busy(const Slice& msg) { return Status(Code::kBusy, msg); }
+  static Status Aborted(const Slice& msg) { return Status(Code::kAborted, msg); }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsIOError() const { return code() == Code::kIOError; }
+  bool IsBusy() const { return code() == Code::kBusy; }
+  bool IsAborted() const { return code() == Code::kAborted; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsNotSupported() const { return code() == Code::kNotSupported; }
+
+  Code code() const { return rep_ == nullptr ? Code::kOk : rep_->code; }
+
+  // "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    Code code;
+    std::string message;
+  };
+
+  Status(Code code, const Slice& msg)
+      : rep_(std::make_shared<Rep>(Rep{code, msg.ToString()})) {}
+
+  // shared_ptr keeps Status copyable and cheap to pass; OK carries nullptr.
+  std::shared_ptr<Rep> rep_;
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_COMMON_STATUS_H_

@@ -1,0 +1,280 @@
+// FloDB user-facing operations: Open/close, Get, Put/Delete (Algorithm 2),
+// FlushAll and stats. Background machinery lives in flodb_background.cc;
+// the scan protocol in flodb_scan.cc.
+
+#include "flodb/core/flodb.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <thread>
+
+#include "flodb/core/memtable_iterator.h"
+
+namespace flodb {
+
+namespace {
+
+constexpr size_t kMinMemtableTarget = 64u << 10;
+
+size_t ComputeMemtableTarget(const FloDbOptions& options) {
+  double fraction = options.enable_membuffer ? (1.0 - options.membuffer_fraction) : 1.0;
+  if (fraction < 0.05) {
+    fraction = 0.05;
+  }
+  auto target = static_cast<size_t>(static_cast<double>(options.memory_budget_bytes) * fraction);
+  return target < kMinMemtableTarget ? kMinMemtableTarget : target;
+}
+
+}  // namespace
+
+FloDB::FloDB(const FloDbOptions& options)
+    : options_(options), memtable_target_bytes_(ComputeMemtableTarget(options)) {}
+
+MemBuffer* FloDB::NewMembuffer() const {
+  MemBuffer::Options mo;
+  mo.capacity_bytes =
+      static_cast<size_t>(static_cast<double>(options_.memory_budget_bytes) *
+                          options_.membuffer_fraction);
+  if (mo.capacity_bytes < (64u << 10)) {
+    mo.capacity_bytes = 64u << 10;
+  }
+  mo.partition_bits = options_.membuffer_partition_bits;
+  mo.avg_entry_bytes_hint = options_.membuffer_avg_entry_hint;
+  return new MemBuffer(mo);
+}
+
+Status FloDB::Open(const FloDbOptions& options, std::unique_ptr<FloDB>* out) {
+  if (options.enable_persistence &&
+      (options.disk.env == nullptr || options.disk.path.empty())) {
+    return Status::InvalidArgument("persistence requires disk.env and disk.path");
+  }
+  if (options.enable_wal && !options.enable_persistence) {
+    return Status::InvalidArgument("WAL requires persistence");
+  }
+  if (options.membuffer_fraction <= 0.0 || options.membuffer_fraction >= 1.0) {
+    return Status::InvalidArgument("membuffer_fraction must be in (0, 1)");
+  }
+
+  auto db = std::unique_ptr<FloDB>(new FloDB(options));
+  if (options.enable_persistence) {
+    Status s = DiskComponent::Open(options.disk, &db->disk_);
+    if (!s.ok()) {
+      return s;
+    }
+    db->global_seq_.store(db->disk_->MaxPersistedSeq() + 1, std::memory_order_relaxed);
+  }
+
+  db->mtb_.store(new MemTable(db->memtable_target_bytes_), std::memory_order_relaxed);
+  if (options.enable_membuffer) {
+    db->mbf_.store(db->NewMembuffer(), std::memory_order_relaxed);
+  }
+
+  if (options.enable_wal) {
+    Status s = db->RecoverFromWal();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  db->StartBackgroundThreads();
+  *out = std::move(db);
+  return Status::OK();
+}
+
+FloDB::~FloDB() {
+  StopBackgroundThreads();
+  if (wal_ != nullptr) {
+    wal_->Sync();
+    wal_->Close();
+  }
+  delete mbf_.load(std::memory_order_relaxed);
+  delete imm_mbf_.load(std::memory_order_relaxed);
+  delete mtb_.load(std::memory_order_relaxed);
+  delete imm_mtb_.load(std::memory_order_relaxed);
+}
+
+Status FloDB::Put(const Slice& key, const Slice& value) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  return Update(key, value, ValueType::kValue);
+}
+
+Status FloDB::Delete(const Slice& key) {
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  return Update(key, Slice(), ValueType::kTombstone);
+}
+
+Status FloDB::Update(const Slice& key, const Slice& value, ValueType type) {
+  if (options_.enable_wal) {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    Status s = wal_->AddUpdate(key, value, type);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  // Algorithm 2, Put. Every wait happens OUTSIDE the RCU read section so
+  // the background threads' grace periods always terminate.
+  while (true) {
+    rcu_.ReadLock();
+
+    if (options_.enable_membuffer) {
+      MemBuffer* mbf = mbf_.load(std::memory_order_seq_cst);
+      if (mbf->Add(key, value, type) != MemBuffer::AddResult::kFull) {
+        membuffer_adds_.fetch_add(1, std::memory_order_relaxed);
+        rcu_.ReadUnlock();
+        return Status::OK();
+      }
+    }
+
+    // Membuffer full (or disabled): the update must go to the Memtable.
+    if (pause_writers_.load(std::memory_order_seq_cst)) {
+      rcu_.ReadUnlock();
+      // A scan is draining the (old) Membuffer: help, or wait (Alg. 2
+      // lines 12-16).
+      if (!HelpDrainImmMembuffer()) {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+
+    MemTable* mtb = mtb_.load(std::memory_order_seq_cst);
+    if (mtb->OverTarget()) {
+      rcu_.ReadUnlock();
+      // Wait for the persist thread to install a fresh Memtable (Alg. 2
+      // lines 17-18) — "typically a very short wait".
+      TriggerPersist();
+      std::this_thread::yield();
+      continue;
+    }
+
+    const uint64_t seq = global_seq_.fetch_add(1, std::memory_order_acq_rel);
+    mtb->Add(key, value, seq, type);
+    memtable_direct_adds_.fetch_add(1, std::memory_order_relaxed);
+    const bool now_full = mtb->OverTarget();
+    rcu_.ReadUnlock();
+    if (now_full) {
+      TriggerPersist();
+    }
+    return Status::OK();
+  }
+}
+
+Status FloDB::Get(const Slice& key, std::string* value) {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  RcuReadGuard guard(rcu_);
+
+  // Freshest-first order: MBF, IMM_MBF, MTB, IMM_MTB, DISK (Algorithm 2).
+  ValueType type;
+  for (MemBuffer* buffer : {mbf_.load(std::memory_order_seq_cst),
+                            imm_mbf_.load(std::memory_order_seq_cst)}) {
+    if (buffer != nullptr && buffer->Get(key, value, &type)) {
+      return type == ValueType::kTombstone ? Status::NotFound() : Status::OK();
+    }
+  }
+  uint64_t seq;
+  for (MemTable* table : {mtb_.load(std::memory_order_seq_cst),
+                          imm_mtb_.load(std::memory_order_seq_cst)}) {
+    if (table != nullptr && table->Get(key, value, &seq, &type)) {
+      return type == ValueType::kTombstone ? Status::NotFound() : Status::OK();
+    }
+  }
+  if (disk_ != nullptr) {
+    Status s = disk_->Get(key, value, &seq, &type);
+    if (s.ok()) {
+      return type == ValueType::kTombstone ? Status::NotFound() : Status::OK();
+    }
+    if (!s.IsNotFound()) {
+      return s;
+    }
+  }
+  return Status::NotFound();
+}
+
+Status FloDB::Scan(const Slice& low_key, const Slice& high_key, size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  return ScanImpl(low_key, high_key, limit, out);
+}
+
+Status FloDB::FlushAll() {
+  // 1. Move everything from the Membuffer into the Memtable.
+  if (options_.enable_membuffer) {
+    std::lock_guard<std::mutex> master(master_mu_);
+    pause_draining_.store(true, std::memory_order_seq_cst);
+    pause_writers_.store(true, std::memory_order_seq_cst);
+    MemBuffer* old = SwapAndDrainMembufferLocked();
+    pause_writers_.store(false, std::memory_order_seq_cst);
+    pause_draining_.store(false, std::memory_order_seq_cst);
+    CleanupImmMembuffer(old);
+  }
+
+  // 2. Persist Memtables until memory is empty.
+  while (true) {
+    bool empty;
+    {
+      RcuReadGuard guard(rcu_);
+      MemTable* mtb = mtb_.load(std::memory_order_seq_cst);
+      empty = (mtb->Count() == 0) && (imm_mtb_.load(std::memory_order_seq_cst) == nullptr);
+    }
+    if (empty) {
+      break;
+    }
+    force_persist_.store(true, std::memory_order_seq_cst);
+    TriggerPersist();
+    std::unique_lock<std::mutex> lock(persist_mu_);
+    persist_done_cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  force_persist_.store(false, std::memory_order_seq_cst);
+
+  if (disk_ != nullptr) {
+    disk_->WaitForCompactions();
+  }
+  return Status::OK();
+}
+
+size_t FloDB::MembufferLiveEntries() const {
+  RcuReadGuard guard(const_cast<Rcu&>(rcu_));
+  size_t total = 0;
+  MemBuffer* mbf = mbf_.load(std::memory_order_seq_cst);
+  if (mbf != nullptr) {
+    total += mbf->LiveEntries();
+  }
+  MemBuffer* imm = imm_mbf_.load(std::memory_order_seq_cst);
+  if (imm != nullptr) {
+    total += imm->LiveEntries();
+  }
+  return total;
+}
+
+size_t FloDB::MemtableBytes() const {
+  RcuReadGuard guard(const_cast<Rcu&>(rcu_));
+  return mtb_.load(std::memory_order_seq_cst)->ApproximateBytes();
+}
+
+void FloDB::WaitUntilDrained() {
+  while (MembufferLiveEntries() > 0 && !stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::yield();
+  }
+}
+
+StoreStats FloDB::GetStats() const {
+  StoreStats stats;
+  stats.puts = puts_.load(std::memory_order_relaxed);
+  stats.gets = gets_.load(std::memory_order_relaxed);
+  stats.deletes = deletes_.load(std::memory_order_relaxed);
+  stats.scans = scans_.load(std::memory_order_relaxed);
+  stats.membuffer_adds = membuffer_adds_.load(std::memory_order_relaxed);
+  stats.memtable_direct_adds = memtable_direct_adds_.load(std::memory_order_relaxed);
+  stats.drained_entries = drained_entries_.load(std::memory_order_relaxed);
+  stats.scan_restarts = scan_restarts_.load(std::memory_order_relaxed);
+  stats.fallback_scans = fallback_scans_.load(std::memory_order_relaxed);
+  stats.master_scans = master_scans_.load(std::memory_order_relaxed);
+  stats.piggyback_scans = piggyback_scans_.load(std::memory_order_relaxed);
+  stats.membuffer_rotations = rotations_.load(std::memory_order_relaxed);
+  if (disk_ != nullptr) {
+    stats.disk = disk_->GetStats();
+  }
+  return stats;
+}
+
+}  // namespace flodb

@@ -1,0 +1,182 @@
+// FloDB: the paper's two-tier LSM memory component on top of the leveled
+// disk component.
+//
+//   Put/Delete  -> Membuffer (hash table); full bucket -> Memtable
+//   Get         -> MBF, IMM_MBF, MTB, IMM_MTB, DISK (freshest-first order)
+//   Scan        -> master/piggyback protocol: swap + fully drain the
+//                  Membuffer, take a scan seq, then iterate
+//                  MTB+IMM_MTB+DISK validating entry seqs; bounded
+//                  restarts, then fallbackScan.
+//   Draining    -> background threads move Membuffer entries into the
+//                  Memtable with skiplist multi-inserts.
+//   Persisting  -> background thread swaps a full Memtable via RCU and
+//                  writes it to the disk component.
+//
+// Concurrency notes: every user operation runs inside an RCU read-side
+// section that pins the component pointers; the background threads swap
+// pointers and reclaim after Synchronize(). No user operation ever blocks
+// on a global lock.
+//
+// Consistency: master scans are linearizable with respect to updates;
+// piggybacking scans (and piggyback restarts) are serializable (paper
+// §4.4 "Correctness"). Get/Put/Delete are linearizable per key, with one
+// paper-inherited caveat on racing writers across a Memtable swap
+// documented in DESIGN.md.
+
+#ifndef FLODB_CORE_FLODB_H_
+#define FLODB_CORE_FLODB_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flodb/core/kv_store.h"
+#include "flodb/core/options.h"
+#include "flodb/disk/wal.h"
+#include "flodb/mem/membuffer.h"
+#include "flodb/mem/memtable.h"
+#include "flodb/sync/rcu.h"
+
+namespace flodb {
+
+class FloDB final : public KVStore {
+ public:
+  // Opens (and recovers, if WAL/manifest data exists) a FloDB instance.
+  static Status Open(const FloDbOptions& options, std::unique_ptr<FloDB>* out);
+  ~FloDB() override;
+
+  FloDB(const FloDB&) = delete;
+  FloDB& operator=(const FloDB&) = delete;
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Scan(const Slice& low_key, const Slice& high_key, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out) override;
+  Status FlushAll() override;
+  StoreStats GetStats() const override;
+  std::string Name() const override { return "FloDB"; }
+
+  // ---- introspection for tests and benchmarks ----
+  uint64_t CurrentSeq() const { return global_seq_.load(std::memory_order_relaxed); }
+  size_t MembufferLiveEntries() const;
+  size_t MemtableBytes() const;
+  const FloDbOptions& options() const { return options_; }
+
+  // Blocks until the Membuffer has (momentarily) fully drained.
+  void WaitUntilDrained();
+
+ private:
+  explicit FloDB(const FloDbOptions& options);
+
+  Status Update(const Slice& key, const Slice& value, ValueType type);
+
+  // ---- background machinery (flodb_background.cc) ----
+  void StartBackgroundThreads();
+  void StopBackgroundThreads();
+  void DrainLoop();
+  void PersistLoop();
+  // One unit of cooperative help on the immutable Membuffer; returns true
+  // if a chunk was processed.
+  bool HelpDrainImmMembuffer();
+  // Inserts a collected batch into the Memtable (sort + seq + multi-insert).
+  void InsertBatch(std::vector<DrainedEntry>* batch);
+  // Swaps in a fresh Membuffer and fully drains the old one into the
+  // Memtable. Caller must hold master_mu_. Used by scans and rotations.
+  void RotateAndDrainMembufferLocked();
+  void TriggerPersist();
+
+  // ---- scan machinery (flodb_scan.cc) ----
+  Status ScanImpl(const Slice& low_key, const Slice& high_key, size_t limit,
+                  std::vector<std::pair<std::string, std::string>>* out);
+  Status FallbackScan(const Slice& low_key, const Slice& high_key, size_t limit,
+                      std::vector<std::pair<std::string, std::string>>* out);
+  // One pass over MTB+IMM_MTB+DISK. Returns true on success, false if a
+  // seq violation demands a restart. `validate` disables seq checks for
+  // the fallback path.
+  bool ScanOnce(const Slice& low_key, const Slice& high_key, size_t limit, uint64_t scan_seq,
+                bool validate, std::vector<std::pair<std::string, std::string>>* out);
+
+  MemBuffer* NewMembuffer() const;
+
+  // Swaps in a fresh Membuffer, synchronizes, and fully drains the old one
+  // (with help from spilling writers). Returns the drained-out buffer,
+  // still installed as imm_mbf_; nullptr when the Membuffer is disabled.
+  // REQUIRES: master_mu_ held and pause flags set by the caller.
+  MemBuffer* SwapAndDrainMembufferLocked();
+  // Uninstalls and reclaims the immutable Membuffer after a grace period.
+  void CleanupImmMembuffer(MemBuffer* old);
+  bool HelpDrainChunk(MemBuffer* imm);
+
+  Status RecoverFromWal();
+  std::string WalFileName(uint64_t number) const;
+
+  const FloDbOptions options_;
+  const size_t memtable_target_bytes_;
+
+  Rcu rcu_;
+  std::atomic<uint64_t> global_seq_{1};
+
+  // Component pointers, RCU-protected.
+  std::atomic<MemBuffer*> mbf_{nullptr};
+  std::atomic<MemBuffer*> imm_mbf_{nullptr};
+  std::atomic<MemTable*> mtb_{nullptr};
+  std::atomic<MemTable*> imm_mtb_{nullptr};
+
+  std::unique_ptr<DiskComponent> disk_;  // null when persistence disabled
+
+  // Algorithm 2/3 flags.
+  std::atomic<bool> pause_writers_{false};
+  std::atomic<bool> pause_draining_{false};
+
+  // Helpers may collect from the immutable Membuffer only after the
+  // post-swap grace period: a writer that resolved the old buffer before
+  // the swap may still be completing an Add into a bucket, and a helper
+  // collecting that bucket early would let the write vanish when the
+  // buffer is destroyed.
+  std::atomic<bool> imm_mbf_drain_ready_{false};
+
+  // Serializes master scans, rotations and fallback scans.
+  std::mutex master_mu_;
+
+  // Scan coordination (piggybacking).
+  std::mutex scan_mu_;
+  std::condition_variable scan_cv_;
+  bool master_busy_ = false;
+  bool published_valid_ = false;
+  uint64_t published_seq_ = 0;
+  int chain_len_ = 0;
+  int reuse_count_ = 0;
+  int running_scans_ = 0;
+
+  // Persist coordination.
+  std::mutex persist_mu_;
+  std::condition_variable persist_work_cv_;  // wakes the persist thread
+  std::condition_variable persist_done_cv_;  // signals swap completed
+  std::atomic<bool> force_persist_{false};
+
+  // WAL (only when options_.enable_wal).
+  std::mutex wal_mu_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t wal_number_ = 0;
+
+  std::vector<std::thread> drain_threads_;
+  std::thread persist_thread_;
+  std::atomic<bool> stop_{false};
+
+  // Stats.
+  mutable std::atomic<uint64_t> puts_{0}, gets_{0}, deletes_{0}, scans_{0};
+  mutable std::atomic<uint64_t> membuffer_adds_{0}, memtable_direct_adds_{0};
+  mutable std::atomic<uint64_t> drained_entries_{0};
+  mutable std::atomic<uint64_t> scan_restarts_{0}, fallback_scans_{0};
+  mutable std::atomic<uint64_t> master_scans_{0}, piggyback_scans_{0};
+  mutable std::atomic<uint64_t> rotations_{0};
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_CORE_FLODB_H_

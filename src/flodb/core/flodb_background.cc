@@ -1,0 +1,346 @@
+// FloDB background machinery: draining threads (Membuffer -> Memtable,
+// Figure 6), the persist thread (Memtable -> disk with RCU switches,
+// §4.2), cooperative drain helping, Membuffer rotation, and WAL recovery.
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "flodb/core/flodb.h"
+#include "flodb/core/memtable_iterator.h"
+
+namespace flodb {
+
+namespace {
+
+constexpr auto kDrainIdleSleep = std::chrono::microseconds(100);
+constexpr size_t kHelpDrainChunkBuckets = 64;
+
+}  // namespace
+
+void FloDB::StartBackgroundThreads() {
+  stop_.store(false, std::memory_order_relaxed);
+  if (options_.enable_membuffer) {
+    for (int i = 0; i < std::max(1, options_.drain_threads); ++i) {
+      drain_threads_.emplace_back([this] { DrainLoop(); });
+    }
+  }
+  persist_thread_ = std::thread([this] { PersistLoop(); });
+}
+
+void FloDB::StopBackgroundThreads() {
+  stop_.store(true, std::memory_order_seq_cst);
+  TriggerPersist();
+  for (std::thread& t : drain_threads_) {
+    t.join();
+  }
+  drain_threads_.clear();
+  if (persist_thread_.joinable()) {
+    persist_thread_.join();
+  }
+}
+
+void FloDB::TriggerPersist() { persist_work_cv_.notify_one(); }
+
+// Sorts, stamps sequence numbers, and inserts a collected batch into the
+// active Memtable — the step between "mark" and "remove" of the drain
+// protocol. Runs in its own RCU section so the Memtable can't be retired
+// from under it, and so that a Membuffer switch (scan) synchronizes after
+// the whole batch has landed.
+void FloDB::InsertBatch(std::vector<DrainedEntry>* batch) {
+  if (batch->empty()) {
+    return;
+  }
+  std::sort(batch->begin(), batch->end(),
+            [](const DrainedEntry& a, const DrainedEntry& b) { return a.key < b.key; });
+
+  RcuReadGuard guard(rcu_);
+  MemTable* mtb = mtb_.load(std::memory_order_seq_cst);
+  if (options_.use_multi_insert) {
+    std::vector<ConcurrentSkipList::BatchEntry> entries;
+    entries.reserve(batch->size());
+    for (DrainedEntry& e : *batch) {
+      e.seq = global_seq_.fetch_add(1, std::memory_order_acq_rel);
+      entries.push_back(ConcurrentSkipList::BatchEntry{Slice(e.key), Slice(e.value), e.type,
+                                                       e.seq});
+    }
+    mtb->MultiAdd(entries);
+  } else {
+    for (DrainedEntry& e : *batch) {
+      e.seq = global_seq_.fetch_add(1, std::memory_order_acq_rel);
+      mtb->Add(Slice(e.key), Slice(e.value), e.seq, e.type);
+    }
+  }
+  drained_entries_.fetch_add(batch->size(), std::memory_order_relaxed);
+}
+
+void FloDB::DrainLoop() {
+  std::vector<DrainedEntry> batch;
+  batch.reserve(options_.drain_batch);
+  uint64_t empty_passes = 0;
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (pause_draining_.load(std::memory_order_seq_cst)) {
+      std::this_thread::sleep_for(kDrainIdleSleep);
+      continue;
+    }
+
+    // Orphaned-record pressure (in-place updates with changing sizes):
+    // rotate the whole buffer. Checked BEFORE Memtable backpressure —
+    // rotation bounds Membuffer memory and must not be starved by a
+    // persistently full Memtable.
+    bool pressure;
+    {
+      RcuReadGuard guard(rcu_);
+      MemBuffer* mbf = mbf_.load(std::memory_order_seq_cst);
+      pressure = mbf != nullptr && mbf->UnderMemoryPressure();
+    }
+    if (pressure) {
+      std::unique_lock<std::mutex> master(master_mu_, std::try_to_lock);
+      if (master.owns_lock()) {
+        pause_draining_.store(true, std::memory_order_seq_cst);
+        pause_writers_.store(true, std::memory_order_seq_cst);
+        MemBuffer* old = SwapAndDrainMembufferLocked();
+        pause_writers_.store(false, std::memory_order_seq_cst);
+        pause_draining_.store(false, std::memory_order_seq_cst);
+        CleanupImmMembuffer(old);
+        rotations_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+
+    // Respect Memtable backpressure: draining into a full Memtable would
+    // defeat the persist throttle.
+    bool memtable_full;
+    {
+      RcuReadGuard guard(rcu_);
+      memtable_full = mtb_.load(std::memory_order_seq_cst)->OverTarget();
+    }
+    if (memtable_full) {
+      TriggerPersist();
+      std::this_thread::sleep_for(kDrainIdleSleep);
+      continue;
+    }
+
+    size_t collected = 0;
+    {
+      RcuReadGuard guard(rcu_);
+      MemBuffer* mbf = mbf_.load(std::memory_order_seq_cst);
+      if (mbf != nullptr) {
+        const uint64_t partition = mbf->ClaimPartition();
+        collected = mbf->CollectAndMark(partition, options_.drain_batch, &batch);
+        if (collected > 0) {
+          InsertBatch(&batch);
+          mbf->FinishDrain(batch);
+        }
+      }
+    }
+
+    batch.clear();
+    if (collected == 0) {
+      // Nothing drainable in that partition; back off a little once the
+      // whole table looks empty, but stay eager: "draining is a
+      // continuously ongoing process" (§4.2).
+      if (++empty_passes > 2 * (uint64_t{1} << options_.membuffer_partition_bits)) {
+        std::this_thread::sleep_for(kDrainIdleSleep);
+        empty_passes = 0;
+      }
+    } else {
+      empty_passes = 0;
+    }
+  }
+}
+
+bool FloDB::HelpDrainChunk(MemBuffer* imm) {
+  uint64_t begin, end;
+  if (!imm->ClaimBucketRange(kHelpDrainChunkBuckets, &begin, &end)) {
+    return false;
+  }
+  std::vector<DrainedEntry> batch;
+  imm->CollectRange(begin, end, &batch);
+  InsertBatch(&batch);
+  imm->MarkBucketsDone(end - begin);
+  return true;
+}
+
+bool FloDB::HelpDrainImmMembuffer() {
+  RcuReadGuard guard(rcu_);
+  if (!imm_mbf_drain_ready_.load(std::memory_order_seq_cst)) {
+    return false;  // grace period still running: buckets may still mutate
+  }
+  MemBuffer* imm = imm_mbf_.load(std::memory_order_seq_cst);
+  if (imm == nullptr || imm->FullyDrained()) {
+    return false;
+  }
+  return HelpDrainChunk(imm);
+}
+
+MemBuffer* FloDB::SwapAndDrainMembufferLocked() {
+  if (!options_.enable_membuffer) {
+    return nullptr;
+  }
+  MemBuffer* old = mbf_.load(std::memory_order_seq_cst);
+  imm_mbf_.store(old, std::memory_order_seq_cst);
+  mbf_.store(NewMembuffer(), std::memory_order_seq_cst);
+  // Wait for writers mid-Add on the old buffer (and mid-Add Memtable
+  // writers whose seq must precede the scan seq) — the MemBufferRCUWait /
+  // MemTableRCUWait pair of Algorithm 3, collapsed into one domain.
+  rcu_.Synchronize();
+  // The old buffer is now immutable; helpers may collect from it.
+  imm_mbf_drain_ready_.store(true, std::memory_order_seq_cst);
+  // Drain it completely. Spilling writers help via HelpDrainImmMembuffer.
+  while (!old->FullyDrained()) {
+    if (!HelpDrainChunk(old)) {
+      // All chunks claimed; wait for helpers to finish inserting.
+      std::this_thread::yield();
+    }
+  }
+  return old;
+}
+
+void FloDB::CleanupImmMembuffer(MemBuffer* old) {
+  if (old == nullptr) {
+    return;
+  }
+  imm_mbf_drain_ready_.store(false, std::memory_order_seq_cst);
+  imm_mbf_.store(nullptr, std::memory_order_seq_cst);
+  // Readers (Gets, helpers) may still hold the pointer: grace period.
+  rcu_.Synchronize();
+  delete old;
+}
+
+void FloDB::PersistLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(persist_mu_);
+      persist_work_cv_.wait(lock, [&] {
+        if (stop_.load(std::memory_order_relaxed)) {
+          return true;
+        }
+        if (imm_mtb_.load(std::memory_order_seq_cst) != nullptr) {
+          return false;  // previous persist still in flight
+        }
+        MemTable* mtb = mtb_.load(std::memory_order_seq_cst);
+        return mtb->OverTarget() ||
+               (force_persist_.load(std::memory_order_seq_cst) && mtb->Count() > 0);
+      });
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      return;
+    }
+
+    // Switch Memtables: an RCU pointer swap that blocks no one (§4.2).
+    MemTable* old = mtb_.load(std::memory_order_seq_cst);
+    imm_mtb_.store(old, std::memory_order_seq_cst);
+    mtb_.store(new MemTable(memtable_target_bytes_), std::memory_order_seq_cst);
+
+    // Rotate the WAL so the old log can be dropped once `old` is durable.
+    uint64_t old_wal = 0;
+    if (options_.enable_wal) {
+      std::lock_guard<std::mutex> lock(wal_mu_);
+      wal_->Sync();
+      wal_->Close();
+      old_wal = wal_number_;
+      ++wal_number_;
+      std::unique_ptr<WritableFile> file;
+      Status s = options_.disk.env->NewWritableFile(WalFileName(wal_number_), &file);
+      if (s.ok()) {
+        wal_ = std::make_unique<WalWriter>(std::move(file));
+      } else {
+        fprintf(stderr, "flodb: cannot rotate WAL: %s\n", s.ToString().c_str());
+      }
+    }
+    persist_done_cv_.notify_all();
+
+    // Grace period #1: all pending updates to `old` have completed before
+    // we copy it to disk.
+    rcu_.Synchronize();
+
+    if (disk_ != nullptr) {
+      MemTableIterator iter(old);
+      Status s = disk_->AddRun(&iter);
+      if (!s.ok() && !s.IsAborted()) {
+        fprintf(stderr, "flodb: persist failed: %s\n", s.ToString().c_str());
+      }
+    }
+    // else: memory-component-only mode (Figure 17) — drop the data.
+
+    imm_mtb_.store(nullptr, std::memory_order_seq_cst);
+    persist_done_cv_.notify_all();
+
+    // Grace period #2: no reader still sees the immutable Memtable.
+    rcu_.Synchronize();
+    delete old;
+
+    if (options_.enable_wal && old_wal != 0) {
+      options_.disk.env->RemoveFile(WalFileName(old_wal));
+    }
+  }
+}
+
+std::string FloDB::WalFileName(uint64_t number) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/wal-%06llu.log", static_cast<unsigned long long>(number));
+  return options_.disk.path + buf;
+}
+
+Status FloDB::RecoverFromWal() {
+  Env* env = options_.disk.env;
+  env->CreateDir(options_.disk.path);
+
+  std::vector<std::string> children;
+  env->GetChildren(options_.disk.path, &children);
+  std::vector<uint64_t> wal_numbers;
+  for (const std::string& name : children) {
+    uint64_t number;
+    if (sscanf(name.c_str(), "wal-%" SCNu64 ".log", &number) == 1) {
+      wal_numbers.push_back(number);
+    }
+  }
+  std::sort(wal_numbers.begin(), wal_numbers.end());
+
+  uint64_t replayed = 0;
+  MemTable* mtb = mtb_.load(std::memory_order_relaxed);
+  for (uint64_t number : wal_numbers) {
+    std::unique_ptr<SequentialFile> file;
+    Status s = env->NewSequentialFile(WalFileName(number), &file);
+    if (!s.ok()) {
+      return s;
+    }
+    WalReader reader(std::move(file));
+    s = reader.ReplayUpdates([&](const Slice& key, const Slice& value, ValueType type) {
+      const uint64_t seq = global_seq_.fetch_add(1, std::memory_order_relaxed);
+      mtb->Add(key, value, seq, type);
+      ++replayed;
+    });
+    if (!s.ok()) {
+      return s;  // mid-log corruption: refuse to open on damaged state
+    }
+  }
+
+  // Make the recovered state durable, then retire the old logs.
+  if (replayed > 0 && disk_ != nullptr) {
+    MemTableIterator iter(mtb);
+    Status s = disk_->AddRun(&iter);
+    if (!s.ok()) {
+      return s;
+    }
+    mtb_.store(new MemTable(memtable_target_bytes_), std::memory_order_relaxed);
+    delete mtb;
+  }
+  for (uint64_t number : wal_numbers) {
+    env->RemoveFile(WalFileName(number));
+  }
+
+  wal_number_ = wal_numbers.empty() ? 1 : wal_numbers.back() + 1;
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(WalFileName(wal_number_), &file);
+  if (!s.ok()) {
+    return s;
+  }
+  wal_ = std::make_unique<WalWriter>(std::move(file));
+  return Status::OK();
+}
+
+}  // namespace flodb

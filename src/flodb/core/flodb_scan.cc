@@ -1,0 +1,182 @@
+// FloDB scan protocol (Algorithm 3, §4.4).
+//
+// Master scan: pause draining and Memtable writers, swap in a fresh
+// Membuffer, fully drain the old one (writers help), take a scan sequence
+// number, release everyone, publish the number for piggybackers, then
+// iterate Memtable + immutable Memtable + disk validating per-entry
+// sequence numbers. An entry newer than the scan number means an in-place
+// update raced the scan: restart; after `scan_restart_threshold` restarts
+// fall back to a scan that briefly blocks Memtable writers (liveness).
+//
+// Piggybacking scan: a scan that begins while another scan runs reuses the
+// published sequence number (no re-drain); chains are bounded by
+// `scan_piggyback_chain_limit`. Piggyback restarts take a fresh sequence
+// number without re-draining. Master scans are linearizable w.r.t.
+// updates (linearization point: the Membuffer pointer swap); piggybacked
+// scans are serializable.
+
+#include "flodb/core/flodb.h"
+#include "flodb/core/memtable_iterator.h"
+#include "flodb/disk/merging_iterator.h"
+
+namespace flodb {
+
+bool FloDB::ScanOnce(const Slice& low_key, const Slice& high_key, size_t limit,
+                     uint64_t scan_seq, bool validate,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  // The RCU section pins both Memtables for the whole iteration; the disk
+  // iterator pins its own Version internally.
+  RcuReadGuard guard(rcu_);
+  std::vector<std::unique_ptr<Iterator>> children;
+  MemTable* mtb = mtb_.load(std::memory_order_seq_cst);
+  children.push_back(NewMemTableIterator(mtb));
+  MemTable* imm = imm_mtb_.load(std::memory_order_seq_cst);
+  if (imm != nullptr) {
+    children.push_back(NewMemTableIterator(imm));
+  }
+  if (disk_ != nullptr) {
+    children.push_back(disk_->NewIterator());
+  }
+  std::unique_ptr<Iterator> merged = NewMergingIterator(std::move(children));
+
+  std::string last_key;
+  bool has_last = false;
+  for (merged->Seek(low_key); merged->Valid(); merged->Next()) {
+    if (!high_key.empty() && merged->key().compare(high_key) >= 0) {
+      break;
+    }
+    if (validate && merged->seq() > scan_seq) {
+      // A value in our range was written after the scan began; the old
+      // value is gone (in-place update), so the snapshot is broken.
+      return false;
+    }
+    if (has_last && merged->key() == Slice(last_key)) {
+      continue;  // older version of an already-emitted user key
+    }
+    last_key.assign(merged->key().data(), merged->key().size());
+    has_last = true;
+    if (merged->type() == ValueType::kTombstone) {
+      continue;
+    }
+    out->emplace_back(last_key, merged->value().ToString());
+    if (limit != 0 && out->size() >= limit) {
+      break;
+    }
+  }
+  return true;
+}
+
+Status FloDB::FallbackScan(const Slice& low_key, const Slice& high_key, size_t limit,
+                           std::vector<std::pair<std::string, std::string>>* out) {
+  fallback_scans_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> master(master_mu_);
+  pause_writers_.store(true, std::memory_order_seq_cst);
+  pause_draining_.store(true, std::memory_order_seq_cst);
+  // In-flight Memtable writes complete; afterwards the Memtable is frozen
+  // for the duration (writers park in the Membuffer or spin).
+  rcu_.Synchronize();
+  const uint64_t seq = global_seq_.fetch_add(1, std::memory_order_acq_rel);
+  ScanOnce(low_key, high_key, limit, seq, /*validate=*/false, out);
+  pause_writers_.store(false, std::memory_order_seq_cst);
+  pause_draining_.store(false, std::memory_order_seq_cst);
+  return Status::OK();
+}
+
+Status FloDB::ScanImpl(const Slice& low_key, const Slice& high_key, size_t limit,
+                       std::vector<std::pair<std::string, std::string>>* out) {
+  uint64_t scan_seq = 0;
+  bool is_master = false;
+
+  // Master election / piggybacking / master seq reuse.
+  {
+    std::unique_lock<std::mutex> lock(scan_mu_);
+    while (true) {
+      // Piggyback: another scan is running and its chain has budget.
+      if (published_valid_ && running_scans_ > 0 &&
+          chain_len_ < options_.scan_piggyback_chain_limit) {
+        scan_seq = published_seq_;
+        ++chain_len_;
+        ++running_scans_;
+        piggyback_scans_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      // Low-concurrency reuse (§4.4 optimization): no scan running, but a
+      // recent master seq with remaining budget — skip the full drain.
+      if (published_valid_ && reuse_count_ < options_.scan_master_reuse_limit) {
+        scan_seq = published_seq_;
+        ++reuse_count_;
+        ++running_scans_;
+        piggyback_scans_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (!master_busy_) {
+        master_busy_ = true;
+        is_master = true;
+        ++running_scans_;
+        master_scans_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      scan_cv_.wait(lock);
+    }
+  }
+
+  auto master_setup = [&] {
+    std::lock_guard<std::mutex> master(master_mu_);
+    pause_draining_.store(true, std::memory_order_seq_cst);
+    pause_writers_.store(true, std::memory_order_seq_cst);
+    MemBuffer* old = SwapAndDrainMembufferLocked();
+    scan_seq = global_seq_.fetch_add(1, std::memory_order_acq_rel);
+    pause_writers_.store(false, std::memory_order_seq_cst);
+    pause_draining_.store(false, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(scan_mu_);
+      published_seq_ = scan_seq;
+      published_valid_ = true;
+      chain_len_ = 0;
+      reuse_count_ = 0;
+    }
+    scan_cv_.notify_all();
+    CleanupImmMembuffer(old);
+  };
+
+  if (is_master) {
+    master_setup();
+  }
+
+  Status result;
+  int restarts = 0;
+  while (true) {
+    if (ScanOnce(low_key, high_key, limit, scan_seq, /*validate=*/true, out)) {
+      break;
+    }
+    scan_restarts_.fetch_add(1, std::memory_order_relaxed);
+    if (++restarts >= options_.scan_restart_threshold) {
+      result = FallbackScan(low_key, high_key, limit, out);
+      break;
+    }
+    if (is_master) {
+      master_setup();  // full restart: re-drain and take a fresh seq
+    } else {
+      // Piggyback restart: fresh seq, no re-drain (§4.4).
+      scan_seq = global_seq_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(scan_mu_);
+    --running_scans_;
+    if (is_master) {
+      master_busy_ = false;
+    }
+    if (running_scans_ == 0 && options_.scan_master_reuse_limit == 0) {
+      // Strict mode: sequence numbers don't outlive the chain. With reuse
+      // enabled the seq stays published until its reuse budget runs out.
+      published_valid_ = false;
+    }
+  }
+  scan_cv_.notify_all();
+  return result;
+}
+
+}  // namespace flodb

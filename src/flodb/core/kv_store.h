@@ -1,0 +1,67 @@
+// KVStore: the user-facing interface implemented by FloDB and by the
+// baseline stores (LevelDB-like, HyperLevelDB-like, RocksDB-like), so the
+// benchmark harness drives them interchangeably.
+//
+// Operations mirror the paper (§2.1): Put, Get, Remove (Delete), and
+// serializable range Scans.
+
+#ifndef FLODB_CORE_KV_STORE_H_
+#define FLODB_CORE_KV_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "flodb/common/slice.h"
+#include "flodb/common/status.h"
+#include "flodb/disk/disk_component.h"
+
+namespace flodb {
+
+struct StoreStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+
+  // FloDB-specific (zero for baselines).
+  uint64_t membuffer_adds = 0;      // updates completed in the Membuffer
+  uint64_t memtable_direct_adds = 0;  // updates that spilled to the Memtable
+  uint64_t drained_entries = 0;
+  uint64_t scan_restarts = 0;
+  uint64_t fallback_scans = 0;
+  uint64_t master_scans = 0;
+  uint64_t piggyback_scans = 0;
+  uint64_t membuffer_rotations = 0;
+
+  DiskComponent::Stats disk;
+};
+
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  virtual Status Delete(const Slice& key) = 0;
+
+  // On hit fills *value and returns OK; NotFound for absent or deleted keys.
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+
+  // Returns up to `limit` live entries with low_key <= key < high_key in
+  // key order (limit 0 = unbounded; empty high_key = unbounded above).
+  // Point-in-time semantics: see each implementation's notes.
+  virtual Status Scan(const Slice& low_key, const Slice& high_key, size_t limit,
+                      std::vector<std::pair<std::string, std::string>>* out) = 0;
+
+  // Pushes all in-memory data to the disk component (if any) and waits for
+  // background work to settle. Test/benchmark aid.
+  virtual Status FlushAll() = 0;
+
+  virtual StoreStats GetStats() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_CORE_KV_STORE_H_

@@ -1,0 +1,38 @@
+// Adapts a MemTable's skiplist iterator to the generic Iterator interface
+// so it can participate in merged views (scans, flush-to-disk).
+
+#ifndef FLODB_CORE_MEMTABLE_ITERATOR_H_
+#define FLODB_CORE_MEMTABLE_ITERATOR_H_
+
+#include <memory>
+
+#include "flodb/disk/iterator.h"
+#include "flodb/mem/memtable.h"
+
+namespace flodb {
+
+class MemTableIterator final : public Iterator {
+ public:
+  explicit MemTableIterator(const MemTable* table) : iter_(table->NewIterator()) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void Seek(const Slice& target) override { iter_.Seek(target); }
+  void Next() override { iter_.Next(); }
+
+  Slice key() const override { return iter_.key(); }
+  Slice value() const override { return iter_.value(); }
+  uint64_t seq() const override { return iter_.seq(); }
+  ValueType type() const override { return iter_.type(); }
+
+ private:
+  ConcurrentSkipList::Iterator iter_;
+};
+
+inline std::unique_ptr<Iterator> NewMemTableIterator(const MemTable* table) {
+  return std::make_unique<MemTableIterator>(table);
+}
+
+}  // namespace flodb
+
+#endif  // FLODB_CORE_MEMTABLE_ITERATOR_H_

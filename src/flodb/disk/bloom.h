@@ -1,0 +1,33 @@
+// Bloom filter for SSTables: reduces disk reads for point lookups that
+// miss a file (most lookups in the paper's 300GB dataset go to disk, so
+// filters carry the read path).
+
+#ifndef FLODB_DISK_BLOOM_H_
+#define FLODB_DISK_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "flodb/common/slice.h"
+
+namespace flodb {
+
+class BloomFilter {
+ public:
+  explicit BloomFilter(int bits_per_key = 10);
+
+  // Builds the filter over `keys`, appending the bits to *dst.
+  void CreateFilter(const std::vector<Slice>& keys, std::string* dst) const;
+
+  // May return false positives, never false negatives for keys passed to
+  // CreateFilter with the same bits_per_key.
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const;
+
+ private:
+  int bits_per_key_;
+  int k_;  // number of probes
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_DISK_BLOOM_H_

@@ -1,0 +1,32 @@
+// CRC32C (Castagnoli). Table-driven software implementation used to
+// checksum SSTable blocks, WAL records and MANIFEST snapshots.
+
+#ifndef FLODB_DISK_CRC32C_H_
+#define FLODB_DISK_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flodb::crc32c {
+
+// CRC of data[0, n); `init_crc` chains partial computations (pass the
+// previous Value result to extend).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+// Stored CRCs are masked (rotated + offset) so that computing the CRC of a
+// string that embeds its own CRC is not degenerate (same scheme LevelDB
+// uses).
+inline constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+
+inline uint32_t Mask(uint32_t crc) { return ((crc >> 15) | (crc << 17)) + kMaskDelta; }
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace flodb::crc32c
+
+#endif  // FLODB_DISK_CRC32C_H_

@@ -1,0 +1,560 @@
+#include "flodb/disk/disk_component.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "flodb/disk/merging_iterator.h"
+#include "flodb/disk/table_builder.h"
+
+namespace flodb {
+
+DiskComponent::DiskComponent(const DiskOptions& options)
+    : options_(options),
+      level_busy_(options.num_levels, false),
+      compact_cursor_(options.num_levels) {}
+
+// RAII registration of an output file number in pending_outputs_.
+struct DiskComponent::PendingOutput {
+  PendingOutput(DiskComponent* dc, uint64_t number) : dc_(dc), number_(number) {
+    std::lock_guard<std::mutex> lock(dc_->pending_mu_);
+    dc_->pending_outputs_.insert(number_);
+  }
+  ~PendingOutput() { Release(); }
+  void Release() {
+    if (dc_ != nullptr) {
+      std::lock_guard<std::mutex> lock(dc_->pending_mu_);
+      dc_->pending_outputs_.erase(number_);
+      dc_ = nullptr;
+    }
+  }
+  PendingOutput(const PendingOutput&) = delete;
+  PendingOutput& operator=(const PendingOutput&) = delete;
+
+ private:
+  DiskComponent* dc_;
+  uint64_t number_;
+};
+
+Status DiskComponent::Open(const DiskOptions& options, std::unique_ptr<DiskComponent>* out) {
+  if (options.env == nullptr || options.path.empty()) {
+    return Status::InvalidArgument("DiskOptions requires env and path");
+  }
+  auto dc = std::unique_ptr<DiskComponent>(new DiskComponent(options));
+  dc->versions_ =
+      std::make_unique<VersionSet>(options.env, options.path, options.num_levels);
+  Status s = dc->versions_->Recover();
+  if (!s.ok()) {
+    return s;
+  }
+  for (int i = 0; i < options.compaction_threads; ++i) {
+    dc->workers_.emplace_back([raw = dc.get()] { raw->BackgroundWork(); });
+  }
+  *out = std::move(dc);
+  return Status::OK();
+}
+
+DiskComponent::~DiskComponent() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+std::shared_ptr<TableReader> DiskComponent::GetTable(uint64_t number, uint64_t file_size) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = table_cache_.find(number);
+    if (it != table_cache_.end()) {
+      return it->second;
+    }
+  }
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = options_.env->NewRandomAccessFile(versions_->TableFileName(number), &file);
+  if (!s.ok()) {
+    return nullptr;
+  }
+  std::unique_ptr<TableReader> reader;
+  s = TableReader::Open(std::move(file), file_size, &reader);
+  if (!s.ok()) {
+    return nullptr;
+  }
+  std::shared_ptr<TableReader> shared(std::move(reader));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto [it, inserted] = table_cache_.emplace(number, shared);
+  return it->second;
+}
+
+Status DiskComponent::AddRun(Iterator* iter) {
+  // Backpressure: writers stall while L0 is saturated, like LevelDB's
+  // level-0 stop trigger. (The persist thread calling us is the "writer"
+  // here; user writers block on Memtable room upstream.)
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [&] {
+      return stop_ ||
+             static_cast<int>(versions_->Current()->LevelFiles(0).size()) <
+                 options_.l0_stall_trigger;
+    });
+    if (stop_) {
+      return Status::Aborted("shutting down");
+    }
+  }
+
+  const uint64_t number = versions_->NewFileNumber();
+  PendingOutput pending(this, number);  // shield from GC until installed
+  const std::string fname = versions_->TableFileName(number);
+  std::unique_ptr<WritableFile> file;
+  Status s = options_.env->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  TableBuilder::Options builder_options;
+  builder_options.block_bytes = options_.block_bytes;
+  builder_options.bloom_bits_per_key = options_.bloom_bits_per_key;
+  TableBuilder builder(builder_options, file.get());
+
+  std::string last_key;
+  bool has_last = false;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    // First occurrence of a user key is the freshest (children are merged
+    // key-asc/seq-desc); drop the rest.
+    if (has_last && iter->key() == Slice(last_key)) {
+      continue;
+    }
+    last_key.assign(iter->key().data(), iter->key().size());
+    has_last = true;
+    builder.Add(iter->key(), iter->seq(), iter->type(), iter->value());
+  }
+  if (!iter->status().ok()) {
+    builder.Finish();
+    file->Close();
+    options_.env->RemoveFile(fname);
+    return iter->status();
+  }
+  if (builder.NumEntries() == 0) {
+    builder.Finish();
+    file->Close();
+    options_.env->RemoveFile(fname);
+    return Status::OK();  // nothing to persist
+  }
+  s = builder.Finish();
+  if (s.ok()) {
+    s = file->Sync();
+  }
+  if (s.ok()) {
+    s = file->Close();
+  }
+  if (!s.ok()) {
+    options_.env->RemoveFile(fname);
+    return s;
+  }
+
+  FileMetaData meta;
+  meta.number = number;
+  meta.file_size = builder.FileSize();
+  meta.entries = builder.NumEntries();
+  meta.smallest = builder.smallest_key().ToString();
+  meta.largest = builder.largest_key().ToString();
+  meta.smallest_seq = builder.smallest_seq();
+  meta.largest_seq = builder.largest_seq();
+
+  VersionEdit edit;
+  edit.added.emplace_back(0, std::move(meta));
+  s = versions_->LogAndApply(edit);
+  if (!s.ok()) {
+    return s;
+  }
+  bytes_flushed_.fetch_add(builder.FileSize(), std::memory_order_relaxed);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  work_cv_.notify_all();
+  return Status::OK();
+}
+
+Status DiskComponent::Get(const Slice& key, std::string* value, uint64_t* seq,
+                          ValueType* type) const {
+  std::shared_ptr<const Version> version = versions_->Current();
+
+  // Level 0: overlapping files; consult in decreasing max-seq order so the
+  // first hit is the freshest version of the key.
+  std::vector<const FileMetaData*> l0;
+  for (const FileMetaData& f : version->LevelFiles(0)) {
+    if (f.ContainsKey(key)) {
+      l0.push_back(&f);
+    }
+  }
+  std::sort(l0.begin(), l0.end(), [](const FileMetaData* a, const FileMetaData* b) {
+    return a->largest_seq > b->largest_seq;
+  });
+  for (const FileMetaData* f : l0) {
+    std::shared_ptr<TableReader> table = GetTable(f->number, f->file_size);
+    if (table == nullptr) {
+      return Status::IOError("cannot open table file");
+    }
+    Status s = table->Get(key, value, seq, type);
+    if (!s.IsNotFound()) {
+      return s;  // hit or error
+    }
+  }
+
+  // Levels >= 1: at most one file per level can contain the key.
+  for (int level = 1; level < version->NumLevels(); ++level) {
+    const auto& files = version->LevelFiles(level);
+    // Binary search: files sorted by smallest key, ranges disjoint.
+    size_t lo = 0, hi = files.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (Slice(files[mid].largest).compare(key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == files.size() || !files[lo].ContainsKey(key)) {
+      continue;
+    }
+    std::shared_ptr<TableReader> table = GetTable(files[lo].number, files[lo].file_size);
+    if (table == nullptr) {
+      return Status::IOError("cannot open table file");
+    }
+    Status s = table->Get(key, value, seq, type);
+    if (!s.IsNotFound()) {
+      return s;
+    }
+  }
+  return Status::NotFound();
+}
+
+namespace {
+
+// Pins the Version (and the TableReaders) backing a merged iterator.
+class VersionPinnedIterator final : public Iterator {
+ public:
+  VersionPinnedIterator(std::unique_ptr<Iterator> base, std::shared_ptr<const Version> version,
+                        std::vector<std::shared_ptr<TableReader>> tables)
+      : base_(std::move(base)), version_(std::move(version)), tables_(std::move(tables)) {}
+
+  bool Valid() const override { return base_->Valid(); }
+  void SeekToFirst() override { base_->SeekToFirst(); }
+  void Seek(const Slice& target) override { base_->Seek(target); }
+  void Next() override { base_->Next(); }
+  Slice key() const override { return base_->key(); }
+  Slice value() const override { return base_->value(); }
+  uint64_t seq() const override { return base_->seq(); }
+  ValueType type() const override { return base_->type(); }
+  Status status() const override { return base_->status(); }
+
+ private:
+  std::unique_ptr<Iterator> base_;
+  std::shared_ptr<const Version> version_;
+  std::vector<std::shared_ptr<TableReader>> tables_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> DiskComponent::NewIterator() const {
+  std::shared_ptr<const Version> version = versions_->Current();
+  std::vector<std::unique_ptr<Iterator>> children;
+  std::vector<std::shared_ptr<TableReader>> tables;
+  for (int level = 0; level < version->NumLevels(); ++level) {
+    for (const FileMetaData& f : version->LevelFiles(level)) {
+      std::shared_ptr<TableReader> table = GetTable(f.number, f.file_size);
+      if (table == nullptr) {
+        continue;  // surfaced via status of other children in practice
+      }
+      children.push_back(table->NewIterator());
+      tables.push_back(std::move(table));
+    }
+  }
+  return std::make_unique<VersionPinnedIterator>(NewMergingIterator(std::move(children)),
+                                                 std::move(version), std::move(tables));
+}
+
+uint64_t DiskComponent::MaxBytesForLevel(int level) const {
+  uint64_t max_bytes = options_.l1_max_bytes;
+  for (int l = 1; l < level; ++l) {
+    max_bytes *= static_cast<uint64_t>(options_.level_size_multiplier);
+  }
+  return max_bytes;
+}
+
+bool DiskComponent::NeedsCompaction(const Version& v, int* out_level) const {
+  if (static_cast<int>(v.LevelFiles(0).size()) >= options_.l0_compaction_trigger) {
+    *out_level = 0;
+    return true;
+  }
+  for (int level = 1; level < v.NumLevels() - 1; ++level) {
+    if (v.LevelBytes(level) > MaxBytesForLevel(level)) {
+      *out_level = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DiskComponent::PickCompaction(CompactionJob* job) {
+  std::shared_ptr<const Version> v = versions_->Current();
+
+  // L0 -> L1 first: it is the flush pressure-release valve.
+  if (static_cast<int>(v->LevelFiles(0).size()) >= options_.l0_compaction_trigger &&
+      !level_busy_[0] && !level_busy_[1]) {
+    job->level = 0;
+    job->inputs_lo = v->LevelFiles(0);
+    std::string smallest, largest;
+    for (const FileMetaData& f : job->inputs_lo) {
+      if (smallest.empty() || Slice(f.smallest).compare(Slice(smallest)) < 0) {
+        smallest = f.smallest;
+      }
+      if (largest.empty() || Slice(f.largest).compare(Slice(largest)) > 0) {
+        largest = f.largest;
+      }
+    }
+    job->inputs_hi = v->OverlappingFiles(1, Slice(smallest), Slice(largest));
+    job->drop_tombstones = v->IsBottommostForRange(1, Slice(smallest), Slice(largest));
+    level_busy_[0] = true;
+    level_busy_[1] = true;
+    return true;
+  }
+
+  for (int level = 1; level < v->NumLevels() - 1; ++level) {
+    if (v->LevelBytes(level) <= MaxBytesForLevel(level) || level_busy_[level] ||
+        level_busy_[level + 1]) {
+      continue;
+    }
+    const auto& files = v->LevelFiles(level);
+    if (files.empty()) {
+      continue;
+    }
+    // Round-robin across the key space (LevelDB's compact_pointer).
+    const FileMetaData* pick = nullptr;
+    for (const FileMetaData& f : files) {
+      if (compact_cursor_[level].empty() ||
+          Slice(f.smallest).compare(Slice(compact_cursor_[level])) > 0) {
+        pick = &f;
+        break;
+      }
+    }
+    if (pick == nullptr) {
+      pick = &files[0];  // wrapped around
+    }
+    compact_cursor_[level] = pick->largest;
+    job->level = level;
+    job->inputs_lo = {*pick};
+    job->inputs_hi = v->OverlappingFiles(level + 1, Slice(pick->smallest), Slice(pick->largest));
+    job->drop_tombstones =
+        v->IsBottommostForRange(level + 1, Slice(pick->smallest), Slice(pick->largest));
+    level_busy_[level] = true;
+    level_busy_[level + 1] = true;
+    return true;
+  }
+  return false;
+}
+
+Status DiskComponent::DoCompaction(const CompactionJob& job) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  std::vector<std::shared_ptr<TableReader>> pinned;
+  uint64_t in_bytes = 0;
+  for (const auto* inputs : {&job.inputs_lo, &job.inputs_hi}) {
+    for (const FileMetaData& f : *inputs) {
+      std::shared_ptr<TableReader> table = GetTable(f.number, f.file_size);
+      if (table == nullptr) {
+        return Status::IOError("compaction input missing");
+      }
+      children.push_back(table->NewIterator());
+      pinned.push_back(std::move(table));
+      in_bytes += f.file_size;
+    }
+  }
+  std::unique_ptr<Iterator> merged = NewMergingIterator(std::move(children));
+
+  VersionEdit edit;
+  const int out_level = job.level + 1;
+  uint64_t out_bytes = 0;
+
+  std::unique_ptr<WritableFile> file;
+  std::unique_ptr<TableBuilder> builder;
+  uint64_t out_number = 0;
+  std::vector<std::unique_ptr<PendingOutput>> pending;  // GC shields, held past install
+  TableBuilder::Options builder_options;
+  builder_options.block_bytes = options_.block_bytes;
+  builder_options.bloom_bits_per_key = options_.bloom_bits_per_key;
+
+  auto finish_output = [&]() -> Status {
+    if (builder == nullptr) {
+      return Status::OK();
+    }
+    Status s = builder->Finish();
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    FileMetaData meta;
+    meta.number = out_number;
+    meta.file_size = builder->FileSize();
+    meta.entries = builder->NumEntries();
+    meta.smallest = builder->smallest_key().ToString();
+    meta.largest = builder->largest_key().ToString();
+    meta.smallest_seq = builder->smallest_seq();
+    meta.largest_seq = builder->largest_seq();
+    out_bytes += meta.file_size;
+    edit.added.emplace_back(out_level, std::move(meta));
+    builder.reset();
+    file.reset();
+    return Status::OK();
+  };
+
+  std::string last_key;
+  bool has_last = false;
+  Status s;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    if (has_last && merged->key() == Slice(last_key)) {
+      continue;  // older version of the same user key
+    }
+    last_key.assign(merged->key().data(), merged->key().size());
+    has_last = true;
+    if (job.drop_tombstones && merged->type() == ValueType::kTombstone) {
+      continue;  // no deeper level can hold this key: tombstone retires
+    }
+    if (builder == nullptr) {
+      out_number = versions_->NewFileNumber();
+      pending.push_back(std::make_unique<PendingOutput>(this, out_number));
+      s = options_.env->NewWritableFile(versions_->TableFileName(out_number), &file);
+      if (!s.ok()) {
+        return s;
+      }
+      builder = std::make_unique<TableBuilder>(builder_options, file.get());
+    }
+    builder->Add(merged->key(), merged->seq(), merged->type(), merged->value());
+    if (builder->FileSize() + options_.block_bytes >= options_.sstable_target_bytes) {
+      s = finish_output();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+  }
+  if (!merged->status().ok()) {
+    return merged->status();
+  }
+  s = finish_output();
+  if (!s.ok()) {
+    return s;
+  }
+
+  for (const FileMetaData& f : job.inputs_lo) {
+    edit.deleted.emplace_back(job.level, f.number);
+  }
+  for (const FileMetaData& f : job.inputs_hi) {
+    edit.deleted.emplace_back(out_level, f.number);
+  }
+  s = versions_->LogAndApply(edit);
+  if (!s.ok()) {
+    return s;
+  }
+  bytes_compacted_in_.fetch_add(in_bytes, std::memory_order_relaxed);
+  bytes_compacted_out_.fetch_add(out_bytes, std::memory_order_relaxed);
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  RemoveObsoleteFiles();
+  return Status::OK();
+}
+
+void DiskComponent::RemoveObsoleteFiles() {
+  // Barrier BEFORE the liveness snapshot: any file allocated from here on
+  // (a concurrent flush/compaction output) is younger than `live` and
+  // might be installed between our snapshot and the directory listing —
+  // it must never be considered obsolete.
+  const uint64_t barrier = versions_->PeekFileNumber();
+  std::set<uint64_t> live = versions_->AllLiveFileNumbers();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    live.insert(pending_outputs_.begin(), pending_outputs_.end());
+  }
+  std::vector<std::string> children;
+  if (!options_.env->GetChildren(options_.path, &children).ok()) {
+    return;
+  }
+  for (const std::string& name : children) {
+    if (name.size() < 5 || name.substr(name.size() - 4) != ".sst") {
+      continue;
+    }
+    const uint64_t number = static_cast<uint64_t>(strtoull(name.c_str(), nullptr, 10));
+    if (number >= barrier || live.count(number) != 0) {
+      continue;
+    }
+    options_.env->RemoveFile(options_.path + "/" + name);
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    table_cache_.erase(number);
+  }
+}
+
+void DiskComponent::BackgroundWork() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    CompactionJob job;
+    while (!stop_ && !PickCompaction(&job)) {
+      work_cv_.wait(lock);
+    }
+    if (stop_) {
+      return;
+    }
+    ++active_compactions_;
+    lock.unlock();
+    Status s = DoCompaction(job);
+    if (!s.ok()) {
+      fprintf(stderr, "flodb: compaction failed: %s\n", s.ToString().c_str());
+      // Back off: a transient I/O failure retries; a persistent one must
+      // not melt into a busy loop.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    lock.lock();
+    --active_compactions_;
+    level_busy_[job.level] = false;
+    level_busy_[job.level + 1] = false;
+    idle_cv_.notify_all();
+    work_cv_.notify_all();  // follow-up compactions may now be possible
+  }
+}
+
+void DiskComponent::WaitForCompactions() {
+  if (options_.compaction_threads == 0) {
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.notify_all();
+    idle_cv_.wait(lock, [&] {
+      int level;
+      return stop_ ||
+             (active_compactions_ == 0 && !NeedsCompaction(*versions_->Current(), &level));
+    });
+  }
+  // Concurrent GC passes can leave a file obsoleted by the final
+  // compaction on disk; a quiescent sweep reclaims it.
+  RemoveObsoleteFiles();
+}
+
+DiskComponent::Stats DiskComponent::GetStats() const {
+  Stats stats;
+  std::shared_ptr<const Version> v = versions_->Current();
+  for (int level = 0; level < v->NumLevels(); ++level) {
+    stats.files_per_level.push_back(static_cast<int>(v->LevelFiles(level).size()));
+  }
+  stats.bytes_flushed = bytes_flushed_.load(std::memory_order_relaxed);
+  stats.bytes_compacted_in = bytes_compacted_in_.load(std::memory_order_relaxed);
+  stats.bytes_compacted_out = bytes_compacted_out_.load(std::memory_order_relaxed);
+  stats.compactions = compactions_.load(std::memory_order_relaxed);
+  stats.flushes = flushes_.load(std::memory_order_relaxed);
+  stats.seeks_saved_by_bloom = bloom_skips_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace flodb

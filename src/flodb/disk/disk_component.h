@@ -1,0 +1,145 @@
+// DiskComponent: the persistent LSM layer shared by FloDB and every
+// baseline (the paper treats it as an orthogonal black box, §3.1).
+//
+// Structure follows LevelDB's: level 0 holds whole flushed Memtables
+// (overlapping; searched by max-seq order), levels >= 1 hold disjoint
+// sorted runs; background thread(s) merge levels when size triggers fire.
+// RocksDB-style multithreaded compaction is the `compaction_threads`
+// knob (§2.2).
+
+#ifndef FLODB_DISK_DISK_COMPONENT_H_
+#define FLODB_DISK_DISK_COMPONENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "flodb/common/slice.h"
+#include "flodb/common/status.h"
+#include "flodb/disk/env.h"
+#include "flodb/disk/iterator.h"
+#include "flodb/disk/table_reader.h"
+#include "flodb/disk/version.h"
+
+namespace flodb {
+
+struct DiskOptions {
+  Env* env = nullptr;     // required; not owned
+  std::string path;       // required; directory for all files
+
+  size_t sstable_target_bytes = 2u << 20;  // output rolling size (compactions)
+  size_t block_bytes = 4096;
+  int bloom_bits_per_key = 10;
+
+  int num_levels = 7;
+  int l0_compaction_trigger = 4;   // L0 file count that triggers L0->L1
+  int l0_stall_trigger = 12;       // AddRun blocks above this many L0 files
+  uint64_t l1_max_bytes = 8ull << 20;
+  int level_size_multiplier = 10;
+
+  int compaction_threads = 1;      // 0 disables background compaction
+};
+
+class DiskComponent {
+ public:
+  static Status Open(const DiskOptions& options, std::unique_ptr<DiskComponent>* out);
+  ~DiskComponent();
+
+  DiskComponent(const DiskComponent&) = delete;
+  DiskComponent& operator=(const DiskComponent&) = delete;
+
+  // Writes the (key-ascending, per-key-deduplicated-by-first-wins) run
+  // produced by `iter` as one L0 file and installs it. Blocks while L0 is
+  // over the stall trigger (write backpressure, as in LevelDB/RocksDB).
+  Status AddRun(Iterator* iter);
+
+  // Point lookup across all levels; freshest version wins.
+  Status Get(const Slice& key, std::string* value, uint64_t* seq, ValueType* type) const;
+
+  // Merged iterator over every file; duplicate user keys surface freshest
+  // first (callers skip the rest). Pins the current Version for its
+  // lifetime.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  // Blocks until no compaction is needed or running.
+  void WaitForCompactions();
+
+  uint64_t MaxPersistedSeq() const { return versions_->MaxPersistedSeq(); }
+
+  struct Stats {
+    std::vector<int> files_per_level;
+    uint64_t bytes_flushed = 0;
+    uint64_t bytes_compacted_in = 0;
+    uint64_t bytes_compacted_out = 0;
+    uint64_t compactions = 0;
+    uint64_t flushes = 0;
+    uint64_t seeks_saved_by_bloom = 0;
+  };
+  Stats GetStats() const;
+
+  const DiskOptions& options() const { return options_; }
+
+ private:
+  struct CompactionJob {
+    int level = -1;  // inputs: `level` and `level + 1`; outputs: level + 1
+    std::vector<FileMetaData> inputs_lo;
+    std::vector<FileMetaData> inputs_hi;
+    bool drop_tombstones = false;
+  };
+
+  explicit DiskComponent(const DiskOptions& options);
+
+  std::shared_ptr<TableReader> GetTable(uint64_t number, uint64_t file_size) const;
+
+  uint64_t MaxBytesForLevel(int level) const;
+  bool NeedsCompaction(const Version& v, int* out_level) const;
+
+  // REQUIRES: mu_ held. Returns true and fills *job if work is available.
+  bool PickCompaction(CompactionJob* job);
+  Status DoCompaction(const CompactionJob& job);
+  void BackgroundWork();
+  void RemoveObsoleteFiles();
+
+  const DiskOptions options_;
+  std::unique_ptr<VersionSet> versions_;
+
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<uint64_t, std::shared_ptr<TableReader>> table_cache_;
+
+  // Output files being written but not yet installed in a Version. File
+  // GC must skip them — without this, RemoveObsoleteFiles racing with a
+  // flush/compaction would unlink a file between its creation and its
+  // LogAndApply (the classic pending-outputs race).
+  std::mutex pending_mu_;
+  std::set<uint64_t> pending_outputs_;
+
+  struct PendingOutput;
+
+  mutable std::mutex mu_;  // guards compaction scheduling state below
+  std::condition_variable work_cv_;   // new work available
+  std::condition_variable idle_cv_;   // compaction finished / L0 shrank
+  std::vector<bool> level_busy_;
+  std::vector<std::string> compact_cursor_;  // round-robin key per level
+  int active_compactions_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  // Stats (relaxed counters).
+  std::atomic<uint64_t> bytes_flushed_{0};
+  std::atomic<uint64_t> bytes_compacted_in_{0};
+  std::atomic<uint64_t> bytes_compacted_out_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> flushes_{0};
+  mutable std::atomic<uint64_t> bloom_skips_{0};
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_DISK_DISK_COMPONENT_H_

@@ -1,0 +1,43 @@
+// Iterator: the traversal interface shared by memtable adapters, SSTables
+// and merged views. Entries expose (key, seq, type, value); seq is the
+// global sequence number assigned when the entry entered the Memtable
+// (scans validate against it — Algorithm 3 line 21).
+
+#ifndef FLODB_DISK_ITERATOR_H_
+#define FLODB_DISK_ITERATOR_H_
+
+#include <cstdint>
+
+#include "flodb/common/slice.h"
+#include "flodb/common/status.h"
+#include "flodb/mem/entry.h"
+
+namespace flodb {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  // Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+
+  // REQUIRES: Valid(). Slices remain valid until the next mutation of the
+  // iterator position.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  virtual uint64_t seq() const = 0;
+  virtual ValueType type() const = 0;
+
+  virtual Status status() const { return Status::OK(); }
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_DISK_ITERATOR_H_

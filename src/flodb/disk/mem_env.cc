@@ -1,0 +1,171 @@
+#include "flodb/disk/mem_env.h"
+
+#include <cstring>
+
+namespace flodb {
+
+namespace {
+
+class MemSequentialFile final : public SequentialFile {
+ public:
+  explicit MemSequentialFile(std::shared_ptr<std::string> data) : data_(std::move(data)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    const size_t available = data_->size() - pos_;
+    if (n > available) {
+      n = available;
+    }
+    memcpy(scratch, data_->data() + pos_, n);
+    *result = Slice(scratch, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    const size_t available = data_->size() - pos_;
+    pos_ += (n > available) ? available : static_cast<size_t>(n);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<std::string> data_;
+  size_t pos_ = 0;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<std::string> data) : data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    if (offset >= data_->size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    const size_t available = data_->size() - static_cast<size_t>(offset);
+    if (n > available) {
+      n = available;
+    }
+    // Point straight into the blob: zero-copy and the shared_ptr keeps it
+    // alive for the file's lifetime.
+    *result = Slice(data_->data() + offset, n);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<std::string> data_;
+};
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<std::string> data) : data_(std::move(data)) {}
+
+  Status Append(const Slice& slice) override {
+    data_->append(slice.data(), slice.size());
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<std::string> data_;
+};
+
+}  // namespace
+
+Status MemEnv::NewSequentialFile(const std::string& fname,
+                                 std::unique_ptr<SequentialFile>* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) {
+    return Status::NotFound(fname);
+  }
+  result->reset(new MemSequentialFile(it->second));
+  return Status::OK();
+}
+
+Status MemEnv::NewRandomAccessFile(const std::string& fname,
+                                   std::unique_ptr<RandomAccessFile>* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) {
+    return Status::NotFound(fname);
+  }
+  result->reset(new MemRandomAccessFile(it->second));
+  return Status::OK();
+}
+
+Status MemEnv::NewWritableFile(const std::string& fname,
+                               std::unique_ptr<WritableFile>* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto file = std::make_shared<std::string>();
+  files_[fname] = file;
+  result->reset(new MemWritableFile(std::move(file)));
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(fname) != 0;
+}
+
+Status MemEnv::GetChildren(const std::string& dir, std::vector<std::string>* result) {
+  result->clear();
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') {
+    prefix += '/';
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, data] : files_) {
+    if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+      std::string child = name.substr(prefix.size());
+      if (child.find('/') == std::string::npos) {
+        result->push_back(std::move(child));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RemoveFile(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(fname) == 0) {
+    return Status::NotFound(fname);
+  }
+  return Status::OK();
+}
+
+Status MemEnv::CreateDir(const std::string& dirname) { return Status::OK(); }
+
+Status MemEnv::GetFileSize(const std::string& fname, uint64_t* file_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) {
+    *file_size = 0;
+    return Status::NotFound(fname);
+  }
+  *file_size = it->second->size();
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(src);
+  if (it == files_.end()) {
+    return Status::NotFound(src);
+  }
+  files_[target] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+uint64_t MemEnv::TotalBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, data] : files_) {
+    total += data->size();
+  }
+  return total;
+}
+
+}  // namespace flodb

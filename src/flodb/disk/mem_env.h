@@ -1,0 +1,49 @@
+// MemEnv: an in-memory filesystem implementing Env.
+//
+// Files are shared_ptr<string> blobs, so a reader that opened a file keeps
+// its data alive even after RemoveFile — mirroring POSIX unlink semantics,
+// which the disk component's garbage collection relies on.
+
+#ifndef FLODB_DISK_MEM_ENV_H_
+#define FLODB_DISK_MEM_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "flodb/disk/env.h"
+
+namespace flodb {
+
+class MemEnv final : public Env {
+ public:
+  MemEnv() = default;
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir, std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* file_size) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+
+  // Sum of the sizes of all current files (tests and benchmarks).
+  uint64_t TotalBytes();
+
+ private:
+  using FileRef = std::shared_ptr<std::string>;
+
+  std::mutex mu_;
+  std::map<std::string, FileRef> files_;
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_DISK_MEM_ENV_H_

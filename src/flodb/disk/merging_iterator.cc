@@ -1,0 +1,89 @@
+#include "flodb/disk/merging_iterator.h"
+
+namespace flodb {
+
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  explicit MergingIterator(std::vector<std::unique_ptr<Iterator>> children)
+      : children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+  }
+
+  void Next() override {
+    current_->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+  uint64_t seq() const override { return current_->seq(); }
+  ValueType type() const override { return current_->type(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  // Linear scan over children: child counts are small (memtables + L0
+  // files + one run per level), and a heap's constant overhead dominates
+  // at those sizes.
+  void FindSmallest() {
+    Iterator* best = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) {
+        continue;
+      }
+      if (best == nullptr) {
+        best = child.get();
+        continue;
+      }
+      const int cmp = child->key().compare(best->key());
+      if (cmp < 0 || (cmp == 0 && child->seq() > best->seq())) {
+        best = child.get();
+      }
+    }
+    current_ = best;
+  }
+
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewMergingIterator(std::vector<std::unique_ptr<Iterator>> children) {
+  return std::make_unique<MergingIterator>(std::move(children));
+}
+
+void SkipEntriesWithKey(Iterator* iter, const Slice& user_key) {
+  // user_key may point into the iterator's current entry; copy it first
+  // because Next() invalidates that storage.
+  const std::string pinned(user_key.data(), user_key.size());
+  while (iter->Valid() && iter->key() == Slice(pinned)) {
+    iter->Next();
+  }
+}
+
+}  // namespace flodb

@@ -1,0 +1,27 @@
+// MergingIterator: k-way merge over child iterators, ordered by
+// (key ascending, seq descending). For a key present in several children
+// the freshest (highest-seq) entry surfaces first; callers that want one
+// entry per user key skip subsequent equal keys (see SkipToNextUserKey).
+//
+// Used by compactions (merge input files) and by scans (Memtable +
+// immutable Memtable + disk levels).
+
+#ifndef FLODB_DISK_MERGING_ITERATOR_H_
+#define FLODB_DISK_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "flodb/disk/iterator.h"
+
+namespace flodb {
+
+// Takes ownership of the children.
+std::unique_ptr<Iterator> NewMergingIterator(std::vector<std::unique_ptr<Iterator>> children);
+
+// Advances `iter` past every remaining entry whose key equals `user_key`.
+void SkipEntriesWithKey(Iterator* iter, const Slice& user_key);
+
+}  // namespace flodb
+
+#endif  // FLODB_DISK_MERGING_ITERATOR_H_

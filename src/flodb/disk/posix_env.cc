@@ -1,0 +1,246 @@
+// PosixEnv: Env over the host filesystem with buffered writes and
+// pread-based random access.
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "flodb/disk/env.h"
+
+namespace flodb {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  std::string msg = context + ": " + strerror(err);
+  if (err == ENOENT) {
+    return Status::NotFound(msg);
+  }
+  return Status::IOError(msg);
+}
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string fname, int fd) : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    while (true) {
+      ssize_t r = ::read(fd_, scratch, n);
+      if (r < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return PosixError(fname_, errno);
+      }
+      *result = Slice(scratch, static_cast<size_t>(r));
+      return Status::OK();
+    }
+  }
+
+  Status Skip(uint64_t n) override {
+    if (::lseek(fd_, static_cast<off_t>(n), SEEK_CUR) == -1) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  const int fd_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string fname, int fd) : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      return PosixError(fname_, errno);
+    }
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  const int fd_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string fname, int fd) : fname_(std::move(fname)), fd_(fd) {
+    buffer_.reserve(kBufferSize);
+  }
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      Close();
+    }
+  }
+
+  Status Append(const Slice& data) override {
+    if (buffer_.size() + data.size() <= kBufferSize) {
+      buffer_.append(data.data(), data.size());
+      return Status::OK();
+    }
+    Status s = FlushBuffer();
+    if (!s.ok()) {
+      return s;
+    }
+    if (data.size() <= kBufferSize) {
+      buffer_.append(data.data(), data.size());
+      return Status::OK();
+    }
+    return WriteRaw(data.data(), data.size());
+  }
+
+  Status Flush() override { return FlushBuffer(); }
+
+  Status Sync() override {
+    Status s = FlushBuffer();
+    if (!s.ok()) {
+      return s;
+    }
+    if (::fdatasync(fd_) != 0) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    Status s = FlushBuffer();
+    if (::close(fd_) != 0 && s.ok()) {
+      s = PosixError(fname_, errno);
+    }
+    fd_ = -1;
+    return s;
+  }
+
+ private:
+  static constexpr size_t kBufferSize = 64 << 10;
+
+  Status FlushBuffer() {
+    Status s = buffer_.empty() ? Status::OK() : WriteRaw(buffer_.data(), buffer_.size());
+    buffer_.clear();
+    return s;
+  }
+
+  Status WriteRaw(const char* data, size_t n) {
+    while (n > 0) {
+      ssize_t w = ::write(fd_, data, n);
+      if (w < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return PosixError(fname_, errno);
+      }
+      data += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  const std::string fname_;
+  int fd_;
+  std::string buffer_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return PosixError(fname, errno);
+    }
+    result->reset(new PosixSequentialFile(fname, fd));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return PosixError(fname, errno);
+    }
+    result->reset(new PosixRandomAccessFile(fname, fd));
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    int fd = ::open(fname.c_str(), O_TRUNC | O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return PosixError(fname, errno);
+    }
+    result->reset(new PosixWritableFile(fname, fd));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override { return ::access(fname.c_str(), F_OK) == 0; }
+
+  Status GetChildren(const std::string& dir, std::vector<std::string>* result) override {
+    result->clear();
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return PosixError(dir, errno);
+    }
+    struct dirent* entry;
+    while ((entry = ::readdir(d)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        result->push_back(std::move(name));
+      }
+    }
+    ::closedir(d);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    if (::unlink(fname.c_str()) != 0) {
+      return PosixError(fname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    if (::mkdir(dirname.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* file_size) override {
+    struct stat sbuf;
+    if (::stat(fname.c_str(), &sbuf) != 0) {
+      *file_size = 0;
+      return PosixError(fname, errno);
+    }
+    *file_size = static_cast<uint64_t>(sbuf.st_size);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    if (::rename(src.c_str(), target.c_str()) != 0) {
+      return PosixError(src, errno);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* GetPosixEnv() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace flodb

@@ -1,0 +1,120 @@
+#include "flodb/disk/table_builder.h"
+
+#include <cassert>
+
+#include "flodb/common/coding.h"
+#include "flodb/disk/crc32c.h"
+#include "flodb/disk/table_format.h"
+
+namespace flodb {
+
+TableBuilder::TableBuilder(const Options& options, WritableFile* file)
+    : options_(options), file_(file) {
+  block_buf_.reserve(options_.block_bytes + 256);
+}
+
+TableBuilder::~TableBuilder() = default;
+
+void TableBuilder::Add(const Slice& key, uint64_t seq, ValueType type, const Slice& value) {
+  if (!status_.ok()) {
+    return;
+  }
+  assert(!finished_);
+  assert(num_entries_ == 0 || key.compare(Slice(largest_key_)) > 0);
+
+  if (num_entries_ == 0) {
+    smallest_key_.assign(key.data(), key.size());
+  }
+  largest_key_.assign(key.data(), key.size());
+  if (seq < smallest_seq_) {
+    smallest_seq_ = seq;
+  }
+  if (seq > largest_seq_) {
+    largest_seq_ = seq;
+  }
+
+  PutVarint32(&block_buf_, static_cast<uint32_t>(key.size()));
+  block_buf_.append(key.data(), key.size());
+  PutVarint64(&block_buf_, seq);
+  block_buf_.push_back(static_cast<char>(type));
+  PutVarint32(&block_buf_, static_cast<uint32_t>(value.size()));
+  block_buf_.append(value.data(), value.size());
+
+  last_key_in_block_.assign(key.data(), key.size());
+  keys_.emplace_back(key.data(), key.size());
+  ++num_entries_;
+
+  if (block_buf_.size() >= options_.block_bytes) {
+    FlushBlock();
+  }
+}
+
+void TableBuilder::FlushBlock() {
+  if (block_buf_.empty() || !status_.ok()) {
+    return;
+  }
+  // Index entry: last key of the block, offset, payload size (sans CRC).
+  PutVarint32(&index_buf_, static_cast<uint32_t>(last_key_in_block_.size()));
+  index_buf_.append(last_key_in_block_);
+  PutFixed64(&index_buf_, offset_);
+  PutFixed64(&index_buf_, block_buf_.size());
+
+  const uint32_t crc = crc32c::Mask(crc32c::Value(block_buf_.data(), block_buf_.size()));
+  PutFixed32(&block_buf_, crc);
+
+  status_ = file_->Append(block_buf_);
+  offset_ += block_buf_.size();
+  block_buf_.clear();
+}
+
+Status TableBuilder::Finish() {
+  assert(!finished_);
+  finished_ = true;
+  FlushBlock();
+  if (!status_.ok()) {
+    return status_;
+  }
+
+  // Filter block.
+  const uint64_t filter_offset = offset_;
+  std::string filter;
+  {
+    BloomFilter bloom(options_.bloom_bits_per_key);
+    std::vector<Slice> key_slices;
+    key_slices.reserve(keys_.size());
+    for (const std::string& k : keys_) {
+      key_slices.emplace_back(k);
+    }
+    bloom.CreateFilter(key_slices, &filter);
+  }
+  status_ = file_->Append(filter);
+  if (!status_.ok()) {
+    return status_;
+  }
+  offset_ += filter.size();
+
+  // Index block.
+  const uint64_t index_offset = offset_;
+  status_ = file_->Append(index_buf_);
+  if (!status_.ok()) {
+    return status_;
+  }
+  offset_ += index_buf_.size();
+
+  // Footer.
+  std::string footer;
+  PutFixed64(&footer, index_offset);
+  PutFixed64(&footer, index_buf_.size());
+  PutFixed64(&footer, filter_offset);
+  PutFixed64(&footer, filter.size());
+  PutFixed64(&footer, num_entries_);
+  PutFixed64(&footer, kTableMagic);
+  assert(footer.size() == kFooterSize);
+  status_ = file_->Append(footer);
+  if (status_.ok()) {
+    offset_ += footer.size();
+  }
+  return status_;
+}
+
+}  // namespace flodb

@@ -1,0 +1,76 @@
+// TableBuilder: streams sorted entries into the SSTable format described
+// in table_format.h. Used by the persist thread (Memtable flush) and by
+// compactions.
+
+#ifndef FLODB_DISK_TABLE_BUILDER_H_
+#define FLODB_DISK_TABLE_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flodb/common/slice.h"
+#include "flodb/common/status.h"
+#include "flodb/disk/bloom.h"
+#include "flodb/disk/env.h"
+#include "flodb/mem/entry.h"
+
+namespace flodb {
+
+class TableBuilder {
+ public:
+  struct Options {
+    size_t block_bytes = 4096;
+    int bloom_bits_per_key = 10;
+  };
+
+  // Does not take ownership of file; caller closes it after Finish.
+  TableBuilder(const Options& options, WritableFile* file);
+  ~TableBuilder();
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  // Keys must arrive in strictly increasing order.
+  void Add(const Slice& key, uint64_t seq, ValueType type, const Slice& value);
+
+  // Writes filter, index and footer. No Adds may follow.
+  Status Finish();
+
+  Status status() const { return status_; }
+  uint64_t NumEntries() const { return num_entries_; }
+  // Bytes written so far (after Finish: the final file size).
+  uint64_t FileSize() const { return offset_; }
+
+  Slice smallest_key() const { return Slice(smallest_key_); }
+  Slice largest_key() const { return Slice(largest_key_); }
+  uint64_t smallest_seq() const { return smallest_seq_; }
+  uint64_t largest_seq() const { return largest_seq_; }
+
+ private:
+  void FlushBlock();
+
+  const Options options_;
+  WritableFile* const file_;
+  Status status_;
+
+  std::string block_buf_;
+  std::string index_buf_;
+  std::string last_key_in_block_;
+
+  // All keys of the file, pinned for the bloom filter build.
+  std::vector<std::string> keys_;
+
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+  std::string smallest_key_;
+  std::string largest_key_;
+  uint64_t smallest_seq_ = ~0ull;
+  uint64_t largest_seq_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_DISK_TABLE_BUILDER_H_

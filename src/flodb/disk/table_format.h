@@ -1,0 +1,34 @@
+// On-disk SSTable layout (this library's own format):
+//
+//   file := data_block*  filter_block  index_block  footer
+//
+//   data_block  := entry*  fixed32 masked_crc      (target block_bytes)
+//   entry       := varint32 klen | key bytes
+//                | varint64 seq  | uint8 type
+//                | varint32 vlen | value bytes
+//   filter_block:= bloom bits over all keys (see bloom.h)
+//   index_block := { varint32 last_klen | last_key
+//                  | fixed64 offset | fixed64 payload_size }*
+//   footer (fixed 48 bytes):
+//     fixed64 index_offset  | fixed64 index_size
+//     fixed64 filter_offset | fixed64 filter_size
+//     fixed64 entry_count   | fixed64 magic
+//
+// Entries are sorted by key, keys unique within a file. Every entry keeps
+// its Memtable sequence number: scans re-validate against it and merged
+// views resolve duplicate user keys across files by highest seq.
+
+#ifndef FLODB_DISK_TABLE_FORMAT_H_
+#define FLODB_DISK_TABLE_FORMAT_H_
+
+#include <cstdint>
+
+namespace flodb {
+
+inline constexpr uint64_t kTableMagic = 0xf10db7ab1e5eed01ull;
+inline constexpr size_t kFooterSize = 6 * 8;
+inline constexpr size_t kBlockCrcSize = 4;
+
+}  // namespace flodb
+
+#endif  // FLODB_DISK_TABLE_FORMAT_H_

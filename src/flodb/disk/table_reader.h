@@ -1,0 +1,66 @@
+// TableReader: opens an SSTable, pins its index and bloom filter in
+// memory, and serves point lookups and iteration.
+
+#ifndef FLODB_DISK_TABLE_READER_H_
+#define FLODB_DISK_TABLE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flodb/common/slice.h"
+#include "flodb/common/status.h"
+#include "flodb/disk/bloom.h"
+#include "flodb/disk/env.h"
+#include "flodb/disk/iterator.h"
+
+namespace flodb {
+
+class TableReader {
+ public:
+  // Takes ownership of file. On success *reader is ready for lookups.
+  static Status Open(std::unique_ptr<RandomAccessFile> file, uint64_t file_size,
+                     std::unique_ptr<TableReader>* reader);
+
+  // Point lookup. Returns OK + outputs on hit, NotFound otherwise.
+  Status Get(const Slice& key, std::string* value, uint64_t* seq, ValueType* type) const;
+
+  // Iterates all entries in key order.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  uint64_t NumEntries() const { return num_entries_; }
+
+ private:
+  struct IndexEntry {
+    std::string last_key;
+    uint64_t offset;
+    uint64_t size;  // payload size, excluding CRC
+  };
+
+  class Iter;
+
+  TableReader() = default;
+
+  // Reads and CRC-verifies the block at index position `i` into *out.
+  Status ReadBlock(size_t i, std::string* out) const;
+
+  // First block whose last_key >= key; index_.size() if none.
+  size_t FindBlock(const Slice& key) const;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  std::vector<IndexEntry> index_;
+  std::string filter_;
+  BloomFilter bloom_;
+  uint64_t num_entries_ = 0;
+};
+
+// Parses one entry at `p` (bounded by limit). Returns the position past
+// the entry or nullptr on corruption. Exposed for reuse by the iterator
+// and tests.
+const char* ParseTableEntry(const char* p, const char* limit, Slice* key, uint64_t* seq,
+                            ValueType* type, Slice* value);
+
+}  // namespace flodb
+
+#endif  // FLODB_DISK_TABLE_READER_H_

@@ -1,0 +1,80 @@
+#include "flodb/disk/throttled_env.h"
+
+#include <thread>
+
+#include "flodb/common/clock.h"
+
+namespace flodb {
+
+TokenBucket::TokenBucket(uint64_t rate_bytes_per_sec) : rate_(rate_bytes_per_sec) {
+  last_refill_nanos_ = NowNanos();
+  // Allow a modest burst so small appends don't serialize on the clock.
+  tokens_ = static_cast<double>(rate_) / 100.0;
+}
+
+void TokenBucket::Consume(uint64_t n) {
+  if (rate_ == 0) {
+    consumed_.fetch_add(n, std::memory_order_relaxed);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    const uint64_t now = NowNanos();
+    const double elapsed_sec = static_cast<double>(now - last_refill_nanos_) * 1e-9;
+    last_refill_nanos_ = now;
+    tokens_ += elapsed_sec * static_cast<double>(rate_);
+    const double cap = static_cast<double>(rate_) / 10.0;  // 100ms of burst
+    if (tokens_ > cap) {
+      tokens_ = cap;
+    }
+    if (tokens_ >= static_cast<double>(n)) {
+      tokens_ -= static_cast<double>(n);
+      consumed_.fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
+    // Sleep just long enough for the deficit to refill.
+    const double deficit = static_cast<double>(n) - tokens_;
+    const double wait_sec = deficit / static_cast<double>(rate_);
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait_sec));
+    lock.lock();
+  }
+}
+
+namespace {
+
+class ThrottledWritableFile final : public WritableFile {
+ public:
+  ThrottledWritableFile(std::unique_ptr<WritableFile> base, TokenBucket* bucket)
+      : base_(std::move(base)), bucket_(bucket) {}
+
+  Status Append(const Slice& data) override {
+    bucket_->Consume(data.size());
+    return base_->Append(data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override { return base_->Sync(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  TokenBucket* bucket_;
+};
+
+}  // namespace
+
+ThrottledEnv::ThrottledEnv(Env* base, uint64_t write_bytes_per_sec)
+    : base_(base), bucket_(write_bytes_per_sec) {}
+
+Status ThrottledEnv::NewWritableFile(const std::string& fname,
+                                     std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> base_file;
+  Status s = base_->NewWritableFile(fname, &base_file);
+  if (!s.ok()) {
+    return s;
+  }
+  result->reset(new ThrottledWritableFile(std::move(base_file), &bucket_));
+  return Status::OK();
+}
+
+}  // namespace flodb

@@ -1,0 +1,80 @@
+// ThrottledEnv: wraps another Env and meters WritableFile::Append through
+// a shared token bucket.
+//
+// This is the reproduction's stand-in for the paper's SSD: the end-to-end
+// write throughput of every store is ultimately bounded by how fast the
+// memory component can be persisted (paper §5.2, the dashed "average
+// persistence throughput" line in Figure 9). Capping append bandwidth
+// reproduces that ceiling deterministically at laptop scale.
+
+#ifndef FLODB_DISK_THROTTLED_ENV_H_
+#define FLODB_DISK_THROTTLED_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "flodb/disk/env.h"
+
+namespace flodb {
+
+class TokenBucket {
+ public:
+  // rate_bytes_per_sec == 0 disables throttling.
+  explicit TokenBucket(uint64_t rate_bytes_per_sec);
+
+  // Blocks until n bytes of budget are available, then consumes them.
+  void Consume(uint64_t n);
+
+  uint64_t rate() const { return rate_; }
+  uint64_t TotalConsumed() const { return consumed_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint64_t rate_;
+  std::mutex mu_;
+  double tokens_ = 0;
+  uint64_t last_refill_nanos_ = 0;
+  std::atomic<uint64_t> consumed_{0};
+};
+
+class ThrottledEnv final : public Env {
+ public:
+  // Does not take ownership of base.
+  ThrottledEnv(Env* base, uint64_t write_bytes_per_sec);
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* result) override {
+    return base_->NewRandomAccessFile(fname, result);
+  }
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+
+  bool FileExists(const std::string& fname) override { return base_->FileExists(fname); }
+  Status GetChildren(const std::string& dir, std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override { return base_->RemoveFile(fname); }
+  Status CreateDir(const std::string& dirname) override { return base_->CreateDir(dirname); }
+  Status GetFileSize(const std::string& fname, uint64_t* file_size) override {
+    return base_->GetFileSize(fname, file_size);
+  }
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+
+  uint64_t TotalBytesWritten() const { return bucket_.TotalConsumed(); }
+  uint64_t WriteRate() const { return bucket_.rate(); }
+
+ private:
+  Env* const base_;
+  TokenBucket bucket_;
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_DISK_THROTTLED_ENV_H_

@@ -1,0 +1,292 @@
+#include "flodb/disk/version.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "flodb/common/coding.h"
+#include "flodb/disk/crc32c.h"
+
+namespace flodb {
+
+namespace {
+
+std::string CurrentFileName(const std::string& dbname) { return dbname + "/CURRENT"; }
+
+std::string ManifestFileName(const std::string& dbname, uint64_t number) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/MANIFEST-%06llu", static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+}  // namespace
+
+uint64_t Version::LevelBytes(int level) const {
+  uint64_t total = 0;
+  for (const FileMetaData& f : levels_[level]) {
+    total += f.file_size;
+  }
+  return total;
+}
+
+int Version::NumFiles() const {
+  int total = 0;
+  for (const auto& level : levels_) {
+    total += static_cast<int>(level.size());
+  }
+  return total;
+}
+
+std::vector<FileMetaData> Version::OverlappingFiles(int level, const Slice& begin,
+                                                    const Slice& end) const {
+  std::vector<FileMetaData> result;
+  for (const FileMetaData& f : levels_[level]) {
+    if (f.OverlapsRange(begin, end)) {
+      result.push_back(f);
+    }
+  }
+  return result;
+}
+
+bool Version::IsBottommostForRange(int level, const Slice& begin, const Slice& end) const {
+  for (int l = level + 1; l < NumLevels(); ++l) {
+    if (!OverlappingFiles(l, begin, end).empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+VersionSet::VersionSet(Env* env, std::string dbname, int num_levels)
+    : env_(env), dbname_(std::move(dbname)), num_levels_(num_levels) {
+  current_ = std::make_shared<Version>(num_levels_);
+  registry_.emplace_back(current_);
+}
+
+void VersionSet::RegisterVersionLocked(const std::shared_ptr<const Version>& v) {
+  registry_.erase(std::remove_if(registry_.begin(), registry_.end(),
+                                 [](const std::weak_ptr<const Version>& w) { return w.expired(); }),
+                  registry_.end());
+  registry_.emplace_back(v);
+}
+
+std::string VersionSet::TableFileName(uint64_t number) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/%06llu.sst", static_cast<unsigned long long>(number));
+  return dbname_ + buf;
+}
+
+std::shared_ptr<const Version> VersionSet::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+Status VersionSet::Recover() {
+  env_->CreateDir(dbname_);
+  std::string current_contents;
+  Status s = ReadFileToString(env_, CurrentFileName(dbname_), &current_contents);
+  if (!s.ok()) {
+    // Fresh database: persist an empty snapshot so CURRENT exists.
+    std::lock_guard<std::mutex> lock(mu_);
+    return WriteSnapshot(*current_);
+  }
+  // Strip trailing newline.
+  while (!current_contents.empty() && current_contents.back() == '\n') {
+    current_contents.pop_back();
+  }
+  std::shared_ptr<Version> v;
+  s = LoadSnapshot(dbname_ + "/" + current_contents, &v);
+  if (!s.ok()) {
+    return s;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::move(v);
+  RegisterVersionLocked(current_);
+  return Status::OK();
+}
+
+// Snapshot format:
+//   fixed64 next_file_number | fixed32 num_levels
+//   per level: fixed32 count, then per file:
+//     fixed64 number | fixed64 size | fixed64 entries
+//     | fixed64 smallest_seq | fixed64 largest_seq
+//     | lp smallest | lp largest
+//   fixed32 masked crc of everything above
+Status VersionSet::WriteSnapshot(const Version& v) {
+  std::string data;
+  PutFixed64(&data, next_file_number_.load(std::memory_order_relaxed));
+  PutFixed32(&data, static_cast<uint32_t>(num_levels_));
+  for (int level = 0; level < num_levels_; ++level) {
+    const auto& files = v.LevelFiles(level);
+    PutFixed32(&data, static_cast<uint32_t>(files.size()));
+    for (const FileMetaData& f : files) {
+      PutFixed64(&data, f.number);
+      PutFixed64(&data, f.file_size);
+      PutFixed64(&data, f.entries);
+      PutFixed64(&data, f.smallest_seq);
+      PutFixed64(&data, f.largest_seq);
+      PutLengthPrefixedSlice(&data, Slice(f.smallest));
+      PutLengthPrefixedSlice(&data, Slice(f.largest));
+    }
+  }
+  PutFixed32(&data, crc32c::Mask(crc32c::Value(data.data(), data.size())));
+
+  const uint64_t number = ++manifest_number_;
+  const std::string fname = ManifestFileName(dbname_, number);
+  Status s = WriteStringToFile(env_, Slice(data), fname, /*sync=*/true);
+  if (!s.ok()) {
+    return s;
+  }
+  // Point CURRENT at the new manifest, then drop the old one.
+  const std::string manifest_basename = fname.substr(dbname_.size() + 1);
+  s = WriteStringToFile(env_, Slice(manifest_basename + "\n"), CurrentFileName(dbname_),
+                        /*sync=*/true);
+  if (!s.ok()) {
+    return s;
+  }
+  if (number > 1) {
+    env_->RemoveFile(ManifestFileName(dbname_, number - 1));
+  }
+  return Status::OK();
+}
+
+Status VersionSet::LoadSnapshot(const std::string& manifest_file, std::shared_ptr<Version>* out) {
+  std::string data;
+  Status s = ReadFileToString(env_, manifest_file, &data);
+  if (!s.ok()) {
+    return s;
+  }
+  if (data.size() < 4) {
+    return Status::Corruption("manifest too small");
+  }
+  const uint32_t stored_crc = crc32c::Unmask(DecodeFixed32(data.data() + data.size() - 4));
+  const uint32_t actual_crc = crc32c::Value(data.data(), data.size() - 4);
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("manifest checksum mismatch");
+  }
+  Slice in(data.data(), data.size() - 4);
+  if (in.size() < 12) {
+    return Status::Corruption("manifest truncated");
+  }
+  next_file_number_.store(DecodeFixed64(in.data()), std::memory_order_relaxed);
+  in.remove_prefix(8);
+  const uint32_t levels = DecodeFixed32(in.data());
+  in.remove_prefix(4);
+  if (levels != static_cast<uint32_t>(num_levels_)) {
+    return Status::Corruption("manifest level-count mismatch");
+  }
+  auto v = std::make_shared<Version>(num_levels_);
+  for (uint32_t level = 0; level < levels; ++level) {
+    if (in.size() < 4) {
+      return Status::Corruption("manifest truncated");
+    }
+    const uint32_t count = DecodeFixed32(in.data());
+    in.remove_prefix(4);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (in.size() < 40) {
+        return Status::Corruption("manifest truncated");
+      }
+      FileMetaData f;
+      f.number = DecodeFixed64(in.data());
+      f.file_size = DecodeFixed64(in.data() + 8);
+      f.entries = DecodeFixed64(in.data() + 16);
+      f.smallest_seq = DecodeFixed64(in.data() + 24);
+      f.largest_seq = DecodeFixed64(in.data() + 32);
+      in.remove_prefix(40);
+      Slice smallest, largest;
+      if (!GetLengthPrefixedSlice(&in, &smallest) || !GetLengthPrefixedSlice(&in, &largest)) {
+        return Status::Corruption("manifest truncated key");
+      }
+      f.smallest = smallest.ToString();
+      f.largest = largest.ToString();
+      // Level files are stored in key order; trust but keep sorted anyway.
+      v->levels_[level].push_back(std::move(f));
+    }
+  }
+  for (auto& level_files : v->levels_) {
+    std::sort(level_files.begin(), level_files.end(),
+              [](const FileMetaData& a, const FileMetaData& b) {
+                return Slice(a.smallest).compare(Slice(b.smallest)) < 0;
+              });
+  }
+  *out = std::move(v);
+  return Status::OK();
+}
+
+Status VersionSet::LogAndApply(const VersionEdit& edit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = std::make_shared<Version>(num_levels_);
+  next->levels_ = current_->levels_;
+  for (const auto& [level, number] : edit.deleted) {
+    auto& files = next->levels_[level];
+    files.erase(std::remove_if(files.begin(), files.end(),
+                               [n = number](const FileMetaData& f) { return f.number == n; }),
+                files.end());
+  }
+  for (const auto& [level, meta] : edit.added) {
+    assert(level >= 0 && level < num_levels_);
+    next->levels_[level].push_back(meta);
+  }
+  // Keep levels >= 1 ordered by smallest key (disjoint ranges); keep L0
+  // ordered by file number (flush order) for debuggability.
+  for (int level = 1; level < num_levels_; ++level) {
+    auto& files = next->levels_[level];
+    std::sort(files.begin(), files.end(), [](const FileMetaData& a, const FileMetaData& b) {
+      return Slice(a.smallest).compare(Slice(b.smallest)) < 0;
+    });
+  }
+  {
+    auto& l0 = next->levels_[0];
+    std::sort(l0.begin(), l0.end(),
+              [](const FileMetaData& a, const FileMetaData& b) { return a.number < b.number; });
+  }
+  Status s = WriteSnapshot(*next);
+  if (!s.ok()) {
+    return s;
+  }
+  current_ = std::move(next);
+  RegisterVersionLocked(current_);
+  return Status::OK();
+}
+
+uint64_t VersionSet::MaxPersistedSeq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t max_seq = 0;
+  for (int level = 0; level < num_levels_; ++level) {
+    for (const FileMetaData& f : current_->LevelFiles(level)) {
+      if (f.largest_seq > max_seq) {
+        max_seq = f.largest_seq;
+      }
+    }
+  }
+  return max_seq;
+}
+
+std::set<uint64_t> VersionSet::LiveFileNumbers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<uint64_t> live;
+  for (int level = 0; level < num_levels_; ++level) {
+    for (const FileMetaData& f : current_->LevelFiles(level)) {
+      live.insert(f.number);
+    }
+  }
+  return live;
+}
+
+std::set<uint64_t> VersionSet::AllLiveFileNumbers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<uint64_t> live;
+  for (const std::weak_ptr<const Version>& w : registry_) {
+    std::shared_ptr<const Version> v = w.lock();
+    if (v == nullptr) {
+      continue;
+    }
+    for (int level = 0; level < v->NumLevels(); ++level) {
+      for (const FileMetaData& f : v->LevelFiles(level)) {
+        live.insert(f.number);
+      }
+    }
+  }
+  return live;
+}
+
+}  // namespace flodb

@@ -1,0 +1,74 @@
+#include "flodb/disk/wal.h"
+
+#include "flodb/common/coding.h"
+#include "flodb/disk/crc32c.h"
+
+namespace flodb {
+
+Status WalWriter::AddRecord(const Slice& payload) {
+  scratch_.clear();
+  PutFixed32(&scratch_, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(&scratch_, static_cast<uint32_t>(payload.size()));
+  scratch_.append(payload.data(), payload.size());
+  return file_->Append(scratch_);
+}
+
+Status WalWriter::AddUpdate(const Slice& key, const Slice& value, ValueType type) {
+  std::string payload;
+  payload.reserve(key.size() + value.size() + 12);
+  payload.push_back(static_cast<char>(type));
+  PutLengthPrefixedSlice(&payload, key);
+  PutLengthPrefixedSlice(&payload, value);
+  return AddRecord(payload);
+}
+
+bool WalReader::ReadRecord(std::string* payload) {
+  char header[8];
+  Slice h;
+  status_ = file_->Read(sizeof(header), &h, header);
+  if (!status_.ok() || h.size() < sizeof(header)) {
+    return false;  // clean EOF or truncated header => end of usable log
+  }
+  const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(h.data()));
+  const uint32_t length = DecodeFixed32(h.data() + 4);
+  payload->resize(length);
+  Slice body;
+  status_ = file_->Read(length, &body, payload->data());
+  if (!status_.ok()) {
+    return false;
+  }
+  if (body.size() < length) {
+    // Truncated tail: the record was being written when we crashed.
+    return false;
+  }
+  if (body.data() != payload->data()) {
+    payload->assign(body.data(), body.size());
+  }
+  const uint32_t actual_crc = crc32c::Value(payload->data(), payload->size());
+  if (actual_crc != expected_crc) {
+    status_ = Status::Corruption("WAL record checksum mismatch");
+    return false;
+  }
+  return true;
+}
+
+Status WalReader::ReplayUpdates(
+    const std::function<void(const Slice& key, const Slice& value, ValueType type)>& fn) {
+  std::string payload;
+  while (ReadRecord(&payload)) {
+    Slice in(payload);
+    if (in.empty()) {
+      return Status::Corruption("empty WAL record");
+    }
+    const ValueType type = static_cast<ValueType>(in[0]);
+    in.remove_prefix(1);
+    Slice key, value;
+    if (!GetLengthPrefixedSlice(&in, &key) || !GetLengthPrefixedSlice(&in, &value)) {
+      return Status::Corruption("malformed WAL update record");
+    }
+    fn(key, value, type);
+  }
+  return status_;
+}
+
+}  // namespace flodb

@@ -1,0 +1,68 @@
+// Write-ahead log: CRC-framed records appended before updates are applied
+// to the memory component, so acknowledged writes survive a crash
+// (paper §2.1: "updates are appended to an on-disk commit-log before
+// being applied to the in-memory component").
+//
+// Record framing: fixed32 masked_crc | fixed32 length | payload.
+// Payload (one record per logical write):
+//   uint8 type | varint32 klen | key | varint32 vlen | value
+// The reader stops cleanly at a truncated/corrupt tail (normal crash
+// outcome) and reports genuine mid-log corruption as an error.
+
+#ifndef FLODB_DISK_WAL_H_
+#define FLODB_DISK_WAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "flodb/common/slice.h"
+#include "flodb/common/status.h"
+#include "flodb/disk/env.h"
+#include "flodb/mem/entry.h"
+
+namespace flodb {
+
+class WalWriter {
+ public:
+  // Takes ownership of the file.
+  explicit WalWriter(std::unique_ptr<WritableFile> file) : file_(std::move(file)) {}
+
+  // Appends one framed record; thread-compatible (callers serialize).
+  Status AddRecord(const Slice& payload);
+
+  // Appends a key/value update record.
+  Status AddUpdate(const Slice& key, const Slice& value, ValueType type);
+
+  Status Sync() { return file_->Sync(); }
+  Status Close() { return file_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+  std::string scratch_;
+};
+
+class WalReader {
+ public:
+  explicit WalReader(std::unique_ptr<SequentialFile> file) : file_(std::move(file)) {}
+
+  // Reads the next record into *payload (valid until next call). Returns
+  // false at end of log (clean end or truncated tail).
+  bool ReadRecord(std::string* payload);
+
+  // Non-OK if mid-log corruption was detected (distinct from a truncated
+  // tail, which is expected after a crash).
+  Status status() const { return status_; }
+
+  // Replays every well-formed update record through fn.
+  Status ReplayUpdates(
+      const std::function<void(const Slice& key, const Slice& value, ValueType type)>& fn);
+
+ private:
+  std::unique_ptr<SequentialFile> file_;
+  Status status_;
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_DISK_WAL_H_

@@ -1,0 +1,6 @@
+#include "flodb/mem/memtable.h"
+
+// MemTable is header-only today; this translation unit anchors the library
+// target and is the placement for future out-of-line members.
+
+namespace flodb {}  // namespace flodb

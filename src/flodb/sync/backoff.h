@@ -1,0 +1,48 @@
+// Exponential backoff helper for spin loops: a few pause instructions,
+// then yields, so single-core machines (and oversubscribed ones) make
+// progress instead of burning a quantum.
+
+#ifndef FLODB_SYNC_BACKOFF_H_
+#define FLODB_SYNC_BACKOFF_H_
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace flodb {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  void Pause() {
+    if (spins_ < kMaxSpins) {
+      for (int i = 0; i < (1 << spins_); ++i) {
+        CpuRelax();
+      }
+      ++spins_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void Reset() { spins_ = 0; }
+
+ private:
+  static constexpr int kMaxSpins = 6;
+  int spins_ = 0;
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_SYNC_BACKOFF_H_

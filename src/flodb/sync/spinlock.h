@@ -1,0 +1,55 @@
+// Tiny test-and-test-and-set spinlock with exponential backoff.
+//
+// Used for per-bucket locking in the Membuffer where critical sections are
+// a handful of loads/stores; a futex-based mutex would dominate the cost.
+
+#ifndef FLODB_SYNC_SPINLOCK_H_
+#define FLODB_SYNC_SPINLOCK_H_
+
+#include <atomic>
+
+#include "flodb/sync/backoff.h"
+
+namespace flodb {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    Backoff backoff;
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+        backoff.Pause();
+      }
+    }
+  }
+
+  bool try_lock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// RAII guard (std::lock_guard works too; this one is header-only cheap).
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.lock(); }
+  ~SpinLockGuard() { lock_.unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_SYNC_SPINLOCK_H_

@@ -1,0 +1,191 @@
+// BaselineMemTable: multi-versioned semantics for both kinds (skiplist,
+// hash table), internal-key encoding, snapshot reads, sorted iteration.
+
+#include "flodb/baselines/baseline_memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flodb/common/key_codec.h"
+
+namespace flodb {
+namespace {
+
+TEST(InternalKeyTest, EncodingOrdersSeqDescending) {
+  std::string a, b;
+  AppendInternalKey(&a, Slice("key"), 10);
+  AppendInternalKey(&b, Slice("key"), 5);
+  EXPECT_LT(Slice(a).compare(Slice(b)), 0) << "higher seq must sort first";
+  EXPECT_EQ(ExtractUserKey(Slice(a)).ToString(), "key");
+  EXPECT_EQ(ExtractSeq(Slice(a)), 10u);
+  EXPECT_EQ(ExtractSeq(Slice(b)), 5u);
+}
+
+TEST(InternalKeyTest, DifferentUserKeysOrderByKey) {
+  std::string a, b;
+  AppendInternalKey(&a, Slice(EncodeKey(1)), 1);
+  AppendInternalKey(&b, Slice(EncodeKey(2)), 100);
+  EXPECT_LT(Slice(a).compare(Slice(b)), 0);
+}
+
+class BaselineMemTableTest : public ::testing::TestWithParam<BaselineMemTable::Kind> {
+ protected:
+  BaselineMemTable::Kind kind() const { return GetParam(); }
+};
+
+TEST_P(BaselineMemTableTest, AddGetNewestVersion) {
+  BaselineMemTable table(kind(), 1 << 20);
+  table.Add(Slice(EncodeKey(1)), Slice("v1"), 1, ValueType::kValue);
+  table.Add(Slice(EncodeKey(1)), Slice("v2"), 2, ValueType::kValue);
+  std::string value;
+  uint64_t seq;
+  ValueType type;
+  ASSERT_TRUE(table.Get(Slice(EncodeKey(1)), UINT64_MAX, &value, &seq, &type));
+  EXPECT_EQ(value, "v2");
+  EXPECT_EQ(seq, 2u);
+}
+
+TEST_P(BaselineMemTableTest, SnapshotReadsSeeOldVersions) {
+  BaselineMemTable table(kind(), 1 << 20);
+  table.Add(Slice(EncodeKey(1)), Slice("v1"), 10, ValueType::kValue);
+  table.Add(Slice(EncodeKey(1)), Slice("v2"), 20, ValueType::kValue);
+  table.Add(Slice(EncodeKey(1)), Slice("v3"), 30, ValueType::kValue);
+  std::string value;
+  ASSERT_TRUE(table.Get(Slice(EncodeKey(1)), 25, &value, nullptr, nullptr));
+  EXPECT_EQ(value, "v2");
+  ASSERT_TRUE(table.Get(Slice(EncodeKey(1)), 10, &value, nullptr, nullptr));
+  EXPECT_EQ(value, "v1");
+  EXPECT_FALSE(table.Get(Slice(EncodeKey(1)), 5, &value, nullptr, nullptr));
+}
+
+TEST_P(BaselineMemTableTest, MultiVersioningGrowsMemory) {
+  // The paper's point (§3.2): repeated updates of one key fill the
+  // baseline memory component.
+  BaselineMemTable table(kind(), 1 << 20);
+  const size_t before = table.ApproximateBytes();
+  for (uint64_t i = 0; i < 1000; ++i) {
+    table.Add(Slice(EncodeKey(7)), Slice(std::string(64, 'x')), i + 1, ValueType::kValue);
+  }
+  EXPECT_EQ(table.Count(), 1000u) << "every version is kept";
+  EXPECT_GE(table.ApproximateBytes(), before + 1000 * 64);
+}
+
+TEST_P(BaselineMemTableTest, MissingKey) {
+  BaselineMemTable table(kind(), 1 << 20);
+  table.Add(Slice(EncodeKey(1)), Slice("v"), 1, ValueType::kValue);
+  EXPECT_FALSE(table.Get(Slice(EncodeKey(2)), UINT64_MAX, nullptr, nullptr, nullptr));
+}
+
+TEST_P(BaselineMemTableTest, TombstonesAreVersions) {
+  BaselineMemTable table(kind(), 1 << 20);
+  table.Add(Slice(EncodeKey(1)), Slice("v"), 1, ValueType::kValue);
+  table.Add(Slice(EncodeKey(1)), Slice(), 2, ValueType::kTombstone);
+  ValueType type;
+  ASSERT_TRUE(table.Get(Slice(EncodeKey(1)), UINT64_MAX, nullptr, nullptr, &type));
+  EXPECT_EQ(type, ValueType::kTombstone);
+  // Older snapshot still sees the live value.
+  std::string value;
+  ASSERT_TRUE(table.Get(Slice(EncodeKey(1)), 1, &value, nullptr, &type));
+  EXPECT_EQ(type, ValueType::kValue);
+}
+
+TEST_P(BaselineMemTableTest, SortedIteratorIsKeyAscSeqDesc) {
+  BaselineMemTable table(kind(), 1 << 20);
+  table.Add(Slice(EncodeKey(2)), Slice("b1"), 1, ValueType::kValue);
+  table.Add(Slice(EncodeKey(1)), Slice("a2"), 4, ValueType::kValue);
+  table.Add(Slice(EncodeKey(1)), Slice("a1"), 2, ValueType::kValue);
+  table.Add(Slice(EncodeKey(2)), Slice("b2"), 3, ValueType::kValue);
+
+  auto iter = table.NewSortedIterator();
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(DecodeKey(iter->key()), 1u);
+  EXPECT_EQ(iter->seq(), 4u);
+  iter->Next();
+  EXPECT_EQ(DecodeKey(iter->key()), 1u);
+  EXPECT_EQ(iter->seq(), 2u);
+  iter->Next();
+  EXPECT_EQ(DecodeKey(iter->key()), 2u);
+  EXPECT_EQ(iter->seq(), 3u);
+  iter->Next();
+  EXPECT_EQ(DecodeKey(iter->key()), 2u);
+  EXPECT_EQ(iter->seq(), 1u);
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_P(BaselineMemTableTest, SortedIteratorSeek) {
+  BaselineMemTable table(kind(), 1 << 20);
+  for (uint64_t k = 0; k < 100; ++k) {
+    table.Add(Slice(EncodeKey(k * 2)), Slice("v"), k + 1, ValueType::kValue);
+  }
+  auto iter = table.NewSortedIterator();
+  iter->Seek(Slice(EncodeKey(51)));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(DecodeKey(iter->key()), 52u);
+}
+
+TEST_P(BaselineMemTableTest, ConcurrentAddsKeepAllVersions) {
+  BaselineMemTable table(kind(), 16 << 20);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 2000;
+  std::atomic<uint64_t> seq{1};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      KeyBuf buf;
+      Random64 rng(static_cast<uint64_t>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())));
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        table.Add(buf.Set(rng.Uniform(100)), Slice("cv"), seq.fetch_add(1), ValueType::kValue);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(table.Count(), kThreads * kPerThread);
+
+  // Sorted iterator yields exactly that many entries, ordered.
+  auto iter = table.NewSortedIterator();
+  uint64_t n = 0;
+  std::string prev_key;
+  uint64_t prev_seq = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    const std::string k = iter->key().ToString();
+    if (n > 0) {
+      if (k == prev_key) {
+        ASSERT_LT(iter->seq(), prev_seq) << "same key must be seq-desc";
+      } else {
+        ASSERT_GT(k, prev_key);
+      }
+    }
+    prev_key = k;
+    prev_seq = iter->seq();
+    ++n;
+  }
+  EXPECT_EQ(n, kThreads * kPerThread);
+}
+
+TEST_P(BaselineMemTableTest, OverTargetSignalsFull) {
+  BaselineMemTable table(kind(), 8 << 10);
+  EXPECT_FALSE(table.OverTarget());
+  for (uint64_t i = 0; i < 200; ++i) {
+    table.Add(Slice(EncodeKey(i)), Slice(std::string(100, 'f')), i + 1, ValueType::kValue);
+  }
+  EXPECT_TRUE(table.OverTarget());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BaselineMemTableTest,
+                         ::testing::Values(BaselineMemTable::Kind::kSkipList,
+                                           BaselineMemTable::Kind::kHashTable),
+                         [](const ::testing::TestParamInfo<BaselineMemTable::Kind>& info) {
+                           return info.param == BaselineMemTable::Kind::kSkipList ? "SkipList"
+                                                                                  : "HashTable";
+                         });
+
+}  // namespace
+}  // namespace flodb

@@ -1,0 +1,260 @@
+// BaselineStore conformance across all four concurrency designs
+// (LevelDB, HyperLevelDB, RocksDB, cLSM) and both memtable kinds:
+// the same KVStore semantics must hold regardless of synchronization.
+
+#include "flodb/baselines/baseline_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "flodb/baselines/hyperleveldb_like.h"
+#include "flodb/baselines/leveldb_like.h"
+#include "flodb/baselines/rocksdb_like.h"
+#include "flodb/bench_util/workload.h"
+#include "flodb/common/key_codec.h"
+#include "flodb/disk/mem_env.h"
+
+namespace flodb {
+namespace {
+
+using bench::SpreadKey;
+using Concurrency = BaselineOptions::Concurrency;
+
+std::string K(uint64_t i) { return EncodeKey(SpreadKey(i, 1 << 20)); }
+
+struct StoreParam {
+  Concurrency concurrency;
+  BaselineMemTable::Kind kind;
+  const char* name;
+};
+
+class BaselineStoreTest : public ::testing::TestWithParam<StoreParam> {
+ protected:
+  void Open() {
+    BaselineOptions options;
+    options.name = GetParam().name;
+    options.concurrency = GetParam().concurrency;
+    options.memtable_kind = GetParam().kind;
+    options.memtable_bytes = 256 << 10;
+    options.disk.env = &env_;
+    options.disk.path = "/db";
+    options.disk.sstable_target_bytes = 32 << 10;
+    options.disk.block_bytes = 1024;
+    ASSERT_TRUE(BaselineStore::Open(options, &store_).ok());
+  }
+
+  MemEnv env_;
+  std::unique_ptr<BaselineStore> store_;
+};
+
+TEST_P(BaselineStoreTest, PutGetDelete) {
+  Open();
+  ASSERT_TRUE(store_->Put(Slice(K(1)), Slice("v1")).ok());
+  std::string value;
+  ASSERT_TRUE(store_->Get(Slice(K(1)), &value).ok());
+  EXPECT_EQ(value, "v1");
+  ASSERT_TRUE(store_->Delete(Slice(K(1))).ok());
+  EXPECT_TRUE(store_->Get(Slice(K(1)), &value).IsNotFound());
+}
+
+TEST_P(BaselineStoreTest, OverwriteKeepsLatest) {
+  Open();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Put(Slice(K(5)), Slice("v" + std::to_string(i))).ok());
+  }
+  std::string value;
+  ASSERT_TRUE(store_->Get(Slice(K(5)), &value).ok());
+  EXPECT_EQ(value, "v99");
+}
+
+TEST_P(BaselineStoreTest, DataSurvivesFlushToDisk) {
+  Open();
+  const std::string payload(300, 'p');
+  for (uint64_t i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(store_->Put(Slice(K(i)), Slice(payload)).ok());
+  }
+  ASSERT_TRUE(store_->FlushAll().ok());
+  EXPECT_GT(store_->GetStats().disk.flushes, 0u);
+  std::string value;
+  for (uint64_t i = 0; i < 3000; i += 111) {
+    ASSERT_TRUE(store_->Get(Slice(K(i)), &value).ok()) << i;
+    EXPECT_EQ(value, payload);
+  }
+}
+
+TEST_P(BaselineStoreTest, ScanReturnsSortedRange) {
+  Open();
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store_->Put(Slice(K(i)), Slice("s" + std::to_string(i))).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(store_->Scan(Slice(K(50)), Slice(K(150)), 0, &out).ok());
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, K(50 + i));
+    EXPECT_EQ(out[i].second, "s" + std::to_string(50 + i));
+  }
+}
+
+TEST_P(BaselineStoreTest, ScanElidesTombstonesAndOldVersions) {
+  Open();
+  for (uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store_->Put(Slice(K(i)), Slice("old")).ok());
+  }
+  for (uint64_t i = 0; i < 20; i += 2) {
+    ASSERT_TRUE(store_->Put(Slice(K(i)), Slice("new")).ok());
+  }
+  ASSERT_TRUE(store_->Delete(Slice(K(5))).ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(store_->Scan(Slice(K(0)), Slice(K(20)), 0, &out).ok());
+  EXPECT_EQ(out.size(), 19u);
+  for (const auto& [key, value] : out) {
+    const uint64_t logical = DecodeKey(Slice(key)) / ((~uint64_t{0}) / (1 << 20));
+    EXPECT_NE(logical, 5u);
+    EXPECT_EQ(value, logical % 2 == 0 ? "new" : "old");
+  }
+}
+
+TEST_P(BaselineStoreTest, ScanWithLimit) {
+  Open();
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Put(Slice(K(i)), Slice("v")).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(store_->Scan(Slice(K(0)), Slice(), 7, &out).ok());
+  EXPECT_EQ(out.size(), 7u);
+}
+
+TEST_P(BaselineStoreTest, ConcurrentWritersAllWritesSurvive) {
+  Open();
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 1500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      KeyBuf buf;
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * kPerThread + i;
+        ASSERT_TRUE(store_->Put(Slice(K(key)), Slice("t" + std::to_string(t))).ok());
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::string value;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; i += 97) {
+      const uint64_t key = static_cast<uint64_t>(t) * kPerThread + i;
+      ASSERT_TRUE(store_->Get(Slice(K(key)), &value).ok()) << key;
+      EXPECT_EQ(value, "t" + std::to_string(t));
+    }
+  }
+}
+
+TEST_P(BaselineStoreTest, ReadersDuringWritesNeverError) {
+  Open();
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    Random64 rng(1);
+    while (!stop.load()) {
+      store_->Put(Slice(K(rng.Uniform(500))), Slice("w"));
+    }
+  });
+  std::thread reader([&] {
+    Random64 rng(2);
+    std::string value;
+    while (!stop.load()) {
+      Status s = store_->Get(Slice(K(rng.Uniform(500))), &value);
+      if (!s.ok() && !s.IsNotFound()) {
+        failed.store(true);
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::seconds(1));
+  stop.store(true);
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST_P(BaselineStoreTest, ScansDuringWritesAreSnapshots) {
+  Open();
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(store_->Put(Slice(K(i)), Slice("11111111")).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Random64 rng(3);
+    int i = 0;
+    while (!stop.load()) {
+      const char digit = static_cast<char>('2' + (i++ % 8));
+      store_->Put(Slice(K(rng.Uniform(300))), Slice(std::string(8, digit)));
+    }
+  });
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(store_->Scan(Slice(K(0)), Slice(K(300)), 0, &out).ok());
+    EXPECT_EQ(out.size(), 300u);
+    for (const auto& [key, value] : out) {
+      for (char c : value) {
+        ASSERT_EQ(c, value[0]) << "torn value: multi-versioned scan must be consistent";
+      }
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, BaselineStoreTest,
+    ::testing::Values(
+        StoreParam{Concurrency::kLevelDB, BaselineMemTable::Kind::kSkipList, "LevelDB"},
+        StoreParam{Concurrency::kHyperLevelDB, BaselineMemTable::Kind::kSkipList, "Hyper"},
+        StoreParam{Concurrency::kRocksDB, BaselineMemTable::Kind::kSkipList, "RocksDB"},
+        StoreParam{Concurrency::kRocksDB, BaselineMemTable::Kind::kHashTable, "RocksDBHash"},
+        StoreParam{Concurrency::kCLSM, BaselineMemTable::Kind::kSkipList, "CLSM"}),
+    [](const ::testing::TestParamInfo<StoreParam>& info) { return info.param.name; });
+
+TEST(BaselineFactoriesTest, OpenAllFactories) {
+  MemEnv env;
+  DiskOptions disk;
+  disk.env = &env;
+
+  disk.path = "/ldb";
+  std::unique_ptr<KVStore> ldb;
+  ASSERT_TRUE(OpenLevelDBLike(1 << 20, disk, &ldb).ok());
+  EXPECT_EQ(ldb->Name(), "LevelDB-like");
+
+  disk.path = "/hld";
+  std::unique_ptr<KVStore> hld;
+  ASSERT_TRUE(OpenHyperLevelDBLike(1 << 20, disk, &hld).ok());
+  EXPECT_EQ(hld->Name(), "HyperLevelDB-like");
+
+  disk.path = "/rdb";
+  std::unique_ptr<KVStore> rdb;
+  RocksDBLikeConfig config;
+  ASSERT_TRUE(OpenRocksDBLike(config, disk, &rdb).ok());
+  EXPECT_EQ(rdb->Name(), "RocksDB-like");
+
+  disk.path = "/clsm";
+  config.clsm_mode = true;
+  std::unique_ptr<KVStore> clsm;
+  ASSERT_TRUE(OpenRocksDBLike(config, disk, &clsm).ok());
+  EXPECT_EQ(clsm->Name(), "RocksDB/cLSM-like");
+
+  // Smoke-test each through the interface.
+  for (KVStore* store : {ldb.get(), hld.get(), rdb.get(), clsm.get()}) {
+    ASSERT_TRUE(store->Put(Slice(K(1)), Slice("v")).ok()) << store->Name();
+    std::string value;
+    ASSERT_TRUE(store->Get(Slice(K(1)), &value).ok()) << store->Name();
+    EXPECT_EQ(value, "v");
+  }
+}
+
+}  // namespace
+}  // namespace flodb

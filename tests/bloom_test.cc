@@ -1,0 +1,94 @@
+#include "flodb/disk/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "flodb/common/key_codec.h"
+
+namespace flodb {
+namespace {
+
+std::vector<std::string> MakeKeys(int n, uint64_t stride) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(EncodeKey(static_cast<uint64_t>(i) * stride));
+  }
+  return keys;
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter bloom(10);
+  auto key_strings = MakeKeys(1000, 3);
+  std::vector<Slice> keys(key_strings.begin(), key_strings.end());
+  std::string filter;
+  bloom.CreateFilter(keys, &filter);
+  for (const Slice& key : keys) {
+    EXPECT_TRUE(bloom.KeyMayMatch(key, Slice(filter)));
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateIsReasonable) {
+  BloomFilter bloom(10);
+  auto key_strings = MakeKeys(10'000, 2);  // even keys
+  std::vector<Slice> keys(key_strings.begin(), key_strings.end());
+  std::string filter;
+  bloom.CreateFilter(keys, &filter);
+
+  int false_positives = 0;
+  int probes = 0;
+  for (uint64_t k = 1; k < 20'000; k += 2) {  // odd keys: none present
+    if (bloom.KeyMayMatch(Slice(EncodeKey(k)), Slice(filter))) {
+      ++false_positives;
+    }
+    ++probes;
+  }
+  // 10 bits/key gives ~1% FP; allow generous headroom.
+  EXPECT_LT(false_positives, probes / 20) << false_positives << "/" << probes;
+}
+
+TEST(BloomTest, EmptyKeySetMatchesNothingConfidently) {
+  BloomFilter bloom(10);
+  std::string filter;
+  bloom.CreateFilter({}, &filter);
+  // Empty filters may say no (never a false negative since no keys).
+  int hits = 0;
+  for (uint64_t k = 0; k < 100; ++k) {
+    if (bloom.KeyMayMatch(Slice(EncodeKey(k)), Slice(filter))) {
+      ++hits;
+    }
+  }
+  EXPECT_LT(hits, 10);
+}
+
+TEST(BloomTest, EmptyFilterSliceIsConservativeMiss) {
+  BloomFilter bloom(10);
+  EXPECT_FALSE(bloom.KeyMayMatch(Slice("k"), Slice()));
+}
+
+TEST(BloomTest, FewerBitsMoreFalsePositivesButStillNoNegatives) {
+  BloomFilter bloom(2);
+  auto key_strings = MakeKeys(500, 7);
+  std::vector<Slice> keys(key_strings.begin(), key_strings.end());
+  std::string filter;
+  bloom.CreateFilter(keys, &filter);
+  for (const Slice& key : keys) {
+    EXPECT_TRUE(bloom.KeyMayMatch(key, Slice(filter)));
+  }
+}
+
+TEST(BloomTest, VariableLengthKeys) {
+  BloomFilter bloom(10);
+  std::vector<std::string> key_strings = {"", "a", "ab", "abc", std::string(1000, 'k')};
+  std::vector<Slice> keys(key_strings.begin(), key_strings.end());
+  std::string filter;
+  bloom.CreateFilter(keys, &filter);
+  for (const Slice& key : keys) {
+    EXPECT_TRUE(bloom.KeyMayMatch(key, Slice(filter)));
+  }
+}
+
+}  // namespace
+}  // namespace flodb

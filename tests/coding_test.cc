@@ -1,0 +1,145 @@
+#include "flodb/common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace flodb {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string s;
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xdeadbeefu, std::numeric_limits<uint32_t>::max()}) {
+    s.clear();
+    PutFixed32(&s, v);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(DecodeFixed32(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string s;
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 32, uint64_t{0xdeadbeefcafebabe},
+                     std::numeric_limits<uint64_t>::max()}) {
+    s.clear();
+    PutFixed64(&s, v);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_EQ(DecodeFixed64(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Varint32RoundTripExhaustiveBoundaries) {
+  std::vector<uint32_t> values;
+  for (uint32_t shift = 0; shift < 32; ++shift) {
+    const uint32_t power = 1u << shift;
+    values.push_back(power - 1);
+    values.push_back(power);
+    values.push_back(power + 1);
+  }
+  values.push_back(std::numeric_limits<uint32_t>::max());
+  std::string s;
+  for (uint32_t v : values) {
+    PutVarint32(&s, v);
+  }
+  Slice in(s);
+  for (uint32_t v : values) {
+    uint32_t parsed;
+    ASSERT_TRUE(GetVarint32(&in, &parsed));
+    EXPECT_EQ(parsed, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Varint64RoundTripBoundaries) {
+  std::vector<uint64_t> values;
+  for (uint32_t shift = 0; shift < 64; ++shift) {
+    const uint64_t power = uint64_t{1} << shift;
+    values.push_back(power - 1);
+    values.push_back(power);
+    values.push_back(power + 1);
+  }
+  values.push_back(std::numeric_limits<uint64_t>::max());
+  std::string s;
+  for (uint64_t v : values) {
+    PutVarint64(&s, v);
+  }
+  Slice in(s);
+  for (uint64_t v : values) {
+    uint64_t parsed;
+    ASSERT_TRUE(GetVarint64(&in, &parsed));
+    EXPECT_EQ(parsed, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128}, uint64_t{16383},
+                     uint64_t{16384}, uint64_t{1} << 40, std::numeric_limits<uint64_t>::max()}) {
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v)) << v;
+  }
+}
+
+TEST(CodingTest, Varint32TruncatedInputFails) {
+  std::string s;
+  PutVarint32(&s, 1u << 30);  // 5-byte encoding
+  for (size_t cut = 0; cut + 1 < s.size(); ++cut) {
+    uint32_t v;
+    EXPECT_EQ(GetVarint32Ptr(s.data(), s.data() + cut, &v), nullptr);
+  }
+}
+
+TEST(CodingTest, Varint64TruncatedInputFails) {
+  std::string s;
+  PutVarint64(&s, std::numeric_limits<uint64_t>::max());  // 10 bytes
+  for (size_t cut = 0; cut + 1 < s.size(); ++cut) {
+    uint64_t v;
+    EXPECT_EQ(GetVarint64Ptr(s.data(), s.data() + cut, &v), nullptr);
+  }
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice("hello"));
+  PutLengthPrefixedSlice(&s, Slice(""));
+  PutLengthPrefixedSlice(&s, Slice(std::string(1000, 'x')));
+  Slice in(s);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedSliceTruncatedBodyFails) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice("hello"));
+  s.resize(s.size() - 2);
+  Slice in(s);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&in, &out));
+}
+
+TEST(CodingTest, MixedStreamDecodes) {
+  std::string s;
+  PutFixed32(&s, 7);
+  PutVarint64(&s, 1'000'000);
+  PutLengthPrefixedSlice(&s, Slice("k"));
+  Slice in(s);
+  EXPECT_EQ(DecodeFixed32(in.data()), 7u);
+  in.remove_prefix(4);
+  uint64_t v;
+  ASSERT_TRUE(GetVarint64(&in, &v));
+  EXPECT_EQ(v, 1'000'000u);
+  Slice k;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &k));
+  EXPECT_EQ(k.ToString(), "k");
+}
+
+}  // namespace
+}  // namespace flodb

@@ -1,0 +1,54 @@
+#include "flodb/disk/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace flodb {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC32C check value: "123456789" -> 0xE3069283.
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xE3069283u);
+
+  // 32 zero bytes -> 0x8A9136AA (iSCSI test vector).
+  char zeros[32] = {};
+  EXPECT_EQ(crc32c::Value(zeros, sizeof(zeros)), 0x8A9136AAu);
+
+  // 32 0xFF bytes -> 0x62A8AB43.
+  char ffs[32];
+  memset(ffs, 0xff, sizeof(ffs));
+  EXPECT_EQ(crc32c::Value(ffs, sizeof(ffs)), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendComposesLikeConcatenation) {
+  const std::string a = "hello ";
+  const std::string b = "world";
+  const uint32_t whole = crc32c::Value((a + b).data(), a.size() + b.size());
+  const uint32_t chained = crc32c::Extend(crc32c::Value(a.data(), a.size()), b.data(), b.size());
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(crc32c::Value("a", 1), crc32c::Value("b", 1));
+  EXPECT_NE(crc32c::Value("ab", 2), crc32c::Value("ba", 2));
+}
+
+TEST(Crc32cTest, MaskUnmaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+  }
+}
+
+TEST(Crc32cTest, MaskChangesValue) {
+  const uint32_t crc = crc32c::Value("data", 4);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(crc32c::Value("", 0), 0u);
+}
+
+}  // namespace
+}  // namespace flodb

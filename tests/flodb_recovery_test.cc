@@ -1,0 +1,189 @@
+// Crash recovery: WAL replay, manifest recovery, WAL rotation GC, and
+// reopening after clean shutdowns.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "flodb/bench_util/workload.h"
+#include "flodb/common/key_codec.h"
+#include "flodb/core/flodb.h"
+#include "flodb/disk/mem_env.h"
+
+namespace flodb {
+namespace {
+
+using bench::SpreadKey;
+
+std::string K(uint64_t i) { return EncodeKey(SpreadKey(i, 1 << 20)); }
+
+FloDbOptions WalOptions(MemEnv* env) {
+  FloDbOptions options;
+  options.memory_budget_bytes = 512 << 10;
+  options.enable_wal = true;
+  options.disk.env = env;
+  options.disk.path = "/db";
+  options.disk.sstable_target_bytes = 32 << 10;
+  return options;
+}
+
+TEST(FloDBRecoveryTest, WalReplayRestoresAcknowledgedWrites) {
+  MemEnv env;
+  {
+    std::unique_ptr<FloDB> db;
+    ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok());
+    for (uint64_t i = 0; i < 500; ++i) {
+      ASSERT_TRUE(db->Put(Slice(K(i)), Slice("durable" + std::to_string(i))).ok());
+    }
+    // "Crash": destroy without FlushAll. The WAL file survives in env.
+  }
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok());
+  std::string value;
+  for (uint64_t i = 0; i < 500; i += 23) {
+    ASSERT_TRUE(db->Get(Slice(K(i)), &value).ok()) << i;
+    EXPECT_EQ(value, "durable" + std::to_string(i));
+  }
+}
+
+TEST(FloDBRecoveryTest, WalReplayLastWriteWins) {
+  MemEnv env;
+  {
+    std::unique_ptr<FloDB> db;
+    ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok());
+    ASSERT_TRUE(db->Put(Slice(K(1)), Slice("first")).ok());
+    ASSERT_TRUE(db->Put(Slice(K(1)), Slice("second")).ok());
+    ASSERT_TRUE(db->Delete(Slice(K(2))).ok());
+    ASSERT_TRUE(db->Put(Slice(K(2)), Slice("alive")).ok());
+    ASSERT_TRUE(db->Put(Slice(K(3)), Slice("doomed")).ok());
+    ASSERT_TRUE(db->Delete(Slice(K(3))).ok());
+  }
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(Slice(K(1)), &value).ok());
+  EXPECT_EQ(value, "second");
+  ASSERT_TRUE(db->Get(Slice(K(2)), &value).ok());
+  EXPECT_EQ(value, "alive");
+  EXPECT_TRUE(db->Get(Slice(K(3)), &value).IsNotFound());
+}
+
+TEST(FloDBRecoveryTest, TruncatedWalTailIsTolerated) {
+  MemEnv env;
+  {
+    std::unique_ptr<FloDB> db;
+    ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok());
+    for (uint64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db->Put(Slice(K(i)), Slice("v")).ok());
+    }
+  }
+  // Chop bytes off the live WAL (simulates a crash mid-append).
+  std::vector<std::string> children;
+  ASSERT_TRUE(env.GetChildren("/db", &children).ok());
+  for (const std::string& name : children) {
+    if (name.rfind("wal-", 0) == 0) {
+      std::string data;
+      ASSERT_TRUE(ReadFileToString(&env, "/db/" + name, &data).ok());
+      data.resize(data.size() - 5);
+      ASSERT_TRUE(WriteStringToFile(&env, Slice(data), "/db/" + name, false).ok());
+    }
+  }
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok());
+  // All but (at most) the last record must be recovered.
+  std::string value;
+  for (uint64_t i = 0; i < 99; ++i) {
+    EXPECT_TRUE(db->Get(Slice(K(i)), &value).ok()) << i;
+  }
+}
+
+TEST(FloDBRecoveryTest, PersistedDataSurvivesWithoutWal) {
+  MemEnv env;
+  FloDbOptions options = WalOptions(&env);
+  options.enable_wal = false;
+  {
+    std::unique_ptr<FloDB> db;
+    ASSERT_TRUE(FloDB::Open(options, &db).ok());
+    for (uint64_t i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(db->Put(Slice(K(i)), Slice(std::string(100, 'd'))).ok());
+    }
+    ASSERT_TRUE(db->FlushAll().ok());
+  }
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(options, &db).ok());
+  std::string value;
+  for (uint64_t i = 0; i < 2000; i += 113) {
+    ASSERT_TRUE(db->Get(Slice(K(i)), &value).ok()) << i;
+  }
+}
+
+TEST(FloDBRecoveryTest, SequenceCounterSeededPastPersistedData) {
+  MemEnv env;
+  FloDbOptions options = WalOptions(&env);
+  options.enable_wal = false;
+  uint64_t seq_before;
+  {
+    std::unique_ptr<FloDB> db;
+    ASSERT_TRUE(FloDB::Open(options, &db).ok());
+    for (uint64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db->Put(Slice(K(i)), Slice("v")).ok());
+    }
+    ASSERT_TRUE(db->FlushAll().ok());
+    seq_before = db->CurrentSeq();
+  }
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(options, &db).ok());
+  EXPECT_GE(db->CurrentSeq(), seq_before)
+      << "a reopened store must not reissue old sequence numbers";
+  // New writes must shadow recovered ones.
+  ASSERT_TRUE(db->Put(Slice(K(1)), Slice("after-reopen")).ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(Slice(K(1)), &value).ok());
+  EXPECT_EQ(value, "after-reopen");
+}
+
+TEST(FloDBRecoveryTest, OldWalFilesAreGarbageCollected) {
+  MemEnv env;
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok());
+  // Enough writes for several memtable swaps (and thus WAL rotations).
+  for (uint64_t i = 0; i < 20'000; ++i) {
+    ASSERT_TRUE(db->Put(Slice(K(i % 5000)), Slice(std::string(100, 'w'))).ok());
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env.GetChildren("/db", &children).ok());
+  int wal_files = 0;
+  for (const std::string& name : children) {
+    if (name.rfind("wal-", 0) == 0) {
+      ++wal_files;
+    }
+  }
+  EXPECT_LE(wal_files, 2) << "retired WALs must be deleted after their memtable persists";
+}
+
+TEST(FloDBRecoveryTest, RepeatedReopenCycles) {
+  MemEnv env;
+  FloDbOptions options = WalOptions(&env);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    std::unique_ptr<FloDB> db;
+    ASSERT_TRUE(FloDB::Open(options, &db).ok());
+    for (uint64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db->Put(Slice(K(static_cast<uint64_t>(cycle) * 100 + i)),
+                          Slice("c" + std::to_string(cycle)))
+                      .ok());
+    }
+    // Check all previous cycles' data is still there.
+    std::string value;
+    for (int prev = 0; prev <= cycle; ++prev) {
+      for (uint64_t i = 0; i < 100; i += 31) {
+        ASSERT_TRUE(db->Get(Slice(K(static_cast<uint64_t>(prev) * 100 + i)), &value).ok())
+            << "cycle " << cycle << " lost data from cycle " << prev;
+        EXPECT_EQ(value, "c" + std::to_string(prev));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flodb

@@ -1,0 +1,107 @@
+#include "flodb/common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "flodb/common/random.h"
+
+namespace flodb {
+namespace {
+
+TEST(HashTest, DeterministicForSameInput) {
+  const std::string data = "the quick brown fox";
+  EXPECT_EQ(Hash64(Slice(data), 1), Hash64(Slice(data), 1));
+  EXPECT_EQ(Hash32(Slice(data), 1), Hash32(Slice(data), 1));
+}
+
+TEST(HashTest, SeedChangesResult) {
+  const std::string data = "payload";
+  EXPECT_NE(Hash64(Slice(data), 1), Hash64(Slice(data), 2));
+  EXPECT_NE(Hash32(Slice(data), 1), Hash32(Slice(data), 2));
+}
+
+TEST(HashTest, AllLengthsUpTo64AreDistinctish) {
+  // Hashes of prefixes of a fixed buffer should (essentially) never
+  // collide — exercises every tail-handling branch.
+  std::string data(64, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 37 + 11);
+  }
+  std::set<uint64_t> seen;
+  for (size_t len = 0; len <= 64; ++len) {
+    seen.insert(Hash64(data.data(), len, 0));
+  }
+  EXPECT_EQ(seen.size(), 65u);
+}
+
+TEST(HashTest, LongInputCoversBulkLoop) {
+  std::string data(1024, 'z');
+  const uint64_t h1 = Hash64(Slice(data), 0);
+  data[1000] = 'y';
+  const uint64_t h2 = Hash64(Slice(data), 0);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(HashTest, SingleBitFlipsAvalanche) {
+  std::string a(32, 'q');
+  std::string b = a;
+  b[13] = static_cast<char>(b[13] ^ 1);
+  const uint64_t ha = Hash64(Slice(a), 0);
+  const uint64_t hb = Hash64(Slice(b), 0);
+  // At least a quarter of the bits should differ for an avalanche mixer.
+  EXPECT_GE(__builtin_popcountll(ha ^ hb), 16);
+}
+
+TEST(HashTest, MixU64NotIdentityAndInjectiveish) {
+  std::set<uint64_t> outs;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    outs.insert(MixU64(i));
+  }
+  EXPECT_EQ(outs.size(), 1000u);
+  EXPECT_NE(MixU64(42), 42u);
+}
+
+TEST(Random64Test, UniformStaysInRange) {
+  Random64 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Random64Test, NextDoubleInUnitInterval) {
+  Random64 rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random64Test, DifferentSeedsDiverge) {
+  Random64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random64Test, RoughUniformity) {
+  Random64 rng(123);
+  int buckets[10] = {};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    buckets[rng.Uniform(10)]++;
+  }
+  for (int count : buckets) {
+    EXPECT_GT(count, n / 10 - n / 50);
+    EXPECT_LT(count, n / 10 + n / 50);
+  }
+}
+
+}  // namespace
+}  // namespace flodb

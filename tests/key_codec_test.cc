@@ -1,0 +1,54 @@
+#include "flodb/common/key_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace flodb {
+namespace {
+
+TEST(KeyCodecTest, RoundTrip) {
+  for (uint64_t k : {uint64_t{0}, uint64_t{1}, uint64_t{255}, uint64_t{256},
+                     uint64_t{1} << 40, std::numeric_limits<uint64_t>::max()}) {
+    EXPECT_EQ(DecodeKey(Slice(EncodeKey(k))), k);
+  }
+}
+
+TEST(KeyCodecTest, EncodingPreservesNumericOrder) {
+  // Lexicographic byte order == numeric order: the property the Membuffer
+  // partitioning and scans rely on.
+  uint64_t prev_val = 0;
+  std::string prev = EncodeKey(prev_val);
+  for (uint64_t k = 1; k < (1u << 16); k += 37) {
+    std::string cur = EncodeKey(k);
+    EXPECT_LT(Slice(prev).compare(Slice(cur)), 0) << prev_val << " vs " << k;
+    prev = cur;
+    prev_val = k;
+  }
+  EXPECT_LT(Slice(EncodeKey(1ull << 40)).compare(Slice(EncodeKey((1ull << 40) + 1))), 0);
+  EXPECT_LT(Slice(EncodeKey(1ull << 40)).compare(
+                Slice(EncodeKey(std::numeric_limits<uint64_t>::max()))),
+            0);
+}
+
+TEST(KeyCodecTest, KeyBufMatchesEncodeKey) {
+  KeyBuf buf;
+  for (uint64_t k : {uint64_t{7}, uint64_t{1} << 33}) {
+    Slice s = buf.Set(k);
+    EXPECT_EQ(s.ToString(), EncodeKey(k));
+  }
+}
+
+TEST(KeyCodecTest, EncodedSizeIsFixed) {
+  EXPECT_EQ(EncodeKey(0).size(), kEncodedKeyBytes);
+  EXPECT_EQ(EncodeKey(std::numeric_limits<uint64_t>::max()).size(), kEncodedKeyBytes);
+}
+
+TEST(KeyCodecTest, DecodeShortSliceUsesAvailableBytes) {
+  // Robustness: shorter slices decode their prefix (documented behaviour).
+  const char two[] = {0x01, 0x02};
+  EXPECT_EQ(DecodeKey(Slice(two, 2)), 0x0102u);
+}
+
+}  // namespace
+}  // namespace flodb

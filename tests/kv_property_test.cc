@@ -1,0 +1,187 @@
+// Cross-store property tests: EVERY store (FloDB + all four baselines)
+// must behave like a std::map reference model under randomized
+// put/get/delete/scan sequences, including across flushes. This is the
+// strongest single correctness check in the suite: one code path per
+// store, one oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "flodb/baselines/baseline_store.h"
+#include "flodb/bench_util/workload.h"
+#include "flodb/common/key_codec.h"
+#include "flodb/common/random.h"
+#include "flodb/core/flodb.h"
+#include "flodb/disk/mem_env.h"
+
+namespace flodb {
+namespace {
+
+using bench::SpreadKey;
+
+enum class StoreKind { kFloDB, kFloDBNoBuffer, kLevelDB, kHyper, kRocksDB, kCLSM };
+
+const char* KindName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kFloDB:
+      return "FloDB";
+    case StoreKind::kFloDBNoBuffer:
+      return "FloDBNoBuffer";
+    case StoreKind::kLevelDB:
+      return "LevelDB";
+    case StoreKind::kHyper:
+      return "Hyper";
+    case StoreKind::kRocksDB:
+      return "RocksDB";
+    case StoreKind::kCLSM:
+      return "CLSM";
+  }
+  return "?";
+}
+
+std::unique_ptr<KVStore> OpenStore(StoreKind kind, MemEnv* env) {
+  if (kind == StoreKind::kFloDB || kind == StoreKind::kFloDBNoBuffer) {
+    FloDbOptions options;
+    options.memory_budget_bytes = 256 << 10;
+    options.enable_membuffer = kind == StoreKind::kFloDB;
+    options.disk.env = env;
+    options.disk.path = "/db";
+    options.disk.sstable_target_bytes = 16 << 10;
+    options.disk.block_bytes = 512;
+    options.disk.l0_compaction_trigger = 3;
+    options.disk.l1_max_bytes = 32 << 10;
+    std::unique_ptr<FloDB> db;
+    EXPECT_TRUE(FloDB::Open(options, &db).ok());
+    return db;
+  }
+  BaselineOptions options;
+  options.memtable_bytes = 64 << 10;
+  options.disk.env = env;
+  options.disk.path = "/db";
+  options.disk.sstable_target_bytes = 16 << 10;
+  options.disk.block_bytes = 512;
+  options.disk.l0_compaction_trigger = 3;
+  options.disk.l1_max_bytes = 32 << 10;
+  switch (kind) {
+    case StoreKind::kLevelDB:
+      options.concurrency = BaselineOptions::Concurrency::kLevelDB;
+      break;
+    case StoreKind::kHyper:
+      options.concurrency = BaselineOptions::Concurrency::kHyperLevelDB;
+      break;
+    case StoreKind::kRocksDB:
+      options.concurrency = BaselineOptions::Concurrency::kRocksDB;
+      break;
+    case StoreKind::kCLSM:
+      options.concurrency = BaselineOptions::Concurrency::kCLSM;
+      break;
+    default:
+      break;
+  }
+  std::unique_ptr<BaselineStore> store;
+  EXPECT_TRUE(BaselineStore::Open(options, &store).ok());
+  return store;
+}
+
+class KVPropertyTest : public ::testing::TestWithParam<StoreKind> {};
+
+constexpr uint64_t kSpace = 512;
+
+std::string K(uint64_t i) { return EncodeKey(SpreadKey(i, kSpace)); }
+
+TEST_P(KVPropertyTest, RandomOpsMatchReferenceModel) {
+  MemEnv env;
+  std::unique_ptr<KVStore> store = OpenStore(GetParam(), &env);
+  ASSERT_NE(store, nullptr);
+
+  std::map<std::string, std::string> model;
+  Random64 rng(2024);
+
+  for (int op = 0; op < 8000; ++op) {
+    const uint64_t key_id = rng.Uniform(kSpace);
+    const std::string key = K(key_id);
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 45) {  // put
+      const std::string value = "v" + std::to_string(op);
+      ASSERT_TRUE(store->Put(Slice(key), Slice(value)).ok());
+      model[key] = value;
+    } else if (dice < 60) {  // delete
+      ASSERT_TRUE(store->Delete(Slice(key)).ok());
+      model.erase(key);
+    } else if (dice < 90) {  // get
+      std::string value;
+      Status s = store->Get(Slice(key), &value);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_TRUE(s.IsNotFound()) << KindName(GetParam()) << " op " << op << ": expected miss,"
+                                    << " got " << s.ToString() << " value=" << value;
+      } else {
+        ASSERT_TRUE(s.ok()) << KindName(GetParam()) << " op " << op << ": " << s.ToString();
+        ASSERT_EQ(value, it->second) << KindName(GetParam()) << " op " << op;
+      }
+    } else {  // scan of up to 20 keys
+      const uint64_t lo = rng.Uniform(kSpace);
+      const uint64_t hi = lo + rng.Uniform(40);
+      std::vector<std::pair<std::string, std::string>> out;
+      ASSERT_TRUE(store->Scan(Slice(K(lo)), Slice(K(hi)), 0, &out).ok());
+      auto model_it = model.lower_bound(K(lo));
+      size_t i = 0;
+      for (; model_it != model.end() && model_it->first < K(hi); ++model_it, ++i) {
+        ASSERT_LT(i, out.size()) << KindName(GetParam()) << " scan missed "
+                                 << DecodeKey(Slice(model_it->first)) << " at op " << op;
+        ASSERT_EQ(out[i].first, model_it->first) << KindName(GetParam()) << " op " << op;
+        ASSERT_EQ(out[i].second, model_it->second) << KindName(GetParam()) << " op " << op;
+      }
+      ASSERT_EQ(i, out.size()) << KindName(GetParam()) << " scan returned extras at op " << op;
+    }
+
+    // Periodically force the full flush/compaction machinery.
+    if (op % 2500 == 2499) {
+      ASSERT_TRUE(store->FlushAll().ok());
+    }
+  }
+
+  // Final sweep: the full store content equals the model.
+  std::vector<std::pair<std::string, std::string>> all;
+  ASSERT_TRUE(store->Scan(Slice(), Slice(), 0, &all).ok());
+  ASSERT_EQ(all.size(), model.size());
+  auto expected = model.begin();
+  for (size_t i = 0; i < all.size(); ++i, ++expected) {
+    EXPECT_EQ(all[i].first, expected->first);
+    EXPECT_EQ(all[i].second, expected->second);
+  }
+}
+
+TEST_P(KVPropertyTest, ValueSizesVaryWildly) {
+  MemEnv env;
+  std::unique_ptr<KVStore> store = OpenStore(GetParam(), &env);
+  std::map<std::string, std::string> model;
+  Random64 rng(7);
+  for (int op = 0; op < 800; ++op) {
+    const std::string key = K(rng.Uniform(64));
+    const size_t value_size = static_cast<size_t>(rng.Uniform(5000));
+    std::string value(value_size, static_cast<char>('a' + (op % 26)));
+    ASSERT_TRUE(store->Put(Slice(key), Slice(value)).ok());
+    model[key] = value;
+  }
+  ASSERT_TRUE(store->FlushAll().ok());
+  for (const auto& [key, expected] : model) {
+    std::string value;
+    ASSERT_TRUE(store->Get(Slice(key), &value).ok());
+    EXPECT_EQ(value, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, KVPropertyTest,
+                         ::testing::Values(StoreKind::kFloDB, StoreKind::kFloDBNoBuffer,
+                                           StoreKind::kLevelDB, StoreKind::kHyper,
+                                           StoreKind::kRocksDB, StoreKind::kCLSM),
+                         [](const ::testing::TestParamInfo<StoreKind>& info) {
+                           return KindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace flodb

@@ -1,0 +1,74 @@
+#include "flodb/mem/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flodb/common/key_codec.h"
+#include "flodb/core/memtable_iterator.h"
+
+namespace flodb {
+namespace {
+
+TEST(MemTableTest, AddGetRoundTrip) {
+  MemTable table(1 << 20);
+  table.Add(Slice(EncodeKey(1)), Slice("v1"), 1, ValueType::kValue);
+  std::string value;
+  uint64_t seq;
+  ValueType type;
+  ASSERT_TRUE(table.Get(Slice(EncodeKey(1)), &value, &seq, &type));
+  EXPECT_EQ(value, "v1");
+  EXPECT_EQ(seq, 1u);
+}
+
+TEST(MemTableTest, OverTargetTracksArena) {
+  MemTable table(4096);
+  EXPECT_FALSE(table.OverTarget());
+  for (uint64_t k = 0; k < 100; ++k) {
+    table.Add(Slice(EncodeKey(k)), Slice(std::string(100, 'x')), k + 1, ValueType::kValue);
+  }
+  EXPECT_TRUE(table.OverTarget());
+  EXPECT_GE(table.ApproximateBytes(), 100u * 100u);
+}
+
+TEST(MemTableTest, MultiAddBatch) {
+  MemTable table(1 << 20);
+  std::vector<std::string> keys;
+  std::vector<ConcurrentSkipList::BatchEntry> batch;
+  for (uint64_t k = 0; k < 10; ++k) {
+    keys.push_back(EncodeKey(k));
+  }
+  for (uint64_t k = 0; k < 10; ++k) {
+    batch.push_back(ConcurrentSkipList::BatchEntry{Slice(keys[k]), Slice("mv"),
+                                                   ValueType::kValue, k + 1});
+  }
+  table.MultiAdd(batch);
+  EXPECT_EQ(table.Count(), 10u);
+}
+
+TEST(MemTableTest, IteratorAdapterExposesEntries) {
+  MemTable table(1 << 20);
+  table.Add(Slice(EncodeKey(2)), Slice("b"), 2, ValueType::kValue);
+  table.Add(Slice(EncodeKey(1)), Slice("a"), 1, ValueType::kValue);
+  table.Add(Slice(EncodeKey(3)), Slice(), 3, ValueType::kTombstone);
+
+  MemTableIterator iter(&table);
+  iter.SeekToFirst();
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(DecodeKey(iter.key()), 1u);
+  EXPECT_EQ(iter.value().ToString(), "a");
+  EXPECT_EQ(iter.seq(), 1u);
+  iter.Next();
+  EXPECT_EQ(DecodeKey(iter.key()), 2u);
+  iter.Next();
+  EXPECT_EQ(iter.type(), ValueType::kTombstone);
+  iter.Next();
+  EXPECT_FALSE(iter.Valid());
+
+  iter.Seek(Slice(EncodeKey(2)));
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(DecodeKey(iter.key()), 2u);
+}
+
+}  // namespace
+}  // namespace flodb

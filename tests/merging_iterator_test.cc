@@ -1,0 +1,130 @@
+#include "flodb/disk/merging_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flodb/common/key_codec.h"
+#include "flodb/mem/memtable.h"
+#include "flodb/core/memtable_iterator.h"
+
+namespace flodb {
+namespace {
+
+std::unique_ptr<MemTable> MakeTable(
+    const std::vector<std::tuple<uint64_t, std::string, uint64_t>>& entries) {
+  auto table = std::make_unique<MemTable>(1 << 20);
+  for (const auto& [key, value, seq] : entries) {
+    table->Add(Slice(EncodeKey(key)), Slice(value), seq, ValueType::kValue);
+  }
+  return table;
+}
+
+TEST(MergingIteratorTest, EmptyChildren) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  auto merged = NewMergingIterator(std::move(children));
+  merged->SeekToFirst();
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(MergingIteratorTest, SingleChildPassThrough) {
+  auto t = MakeTable({{1, "a", 1}, {2, "b", 2}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(NewMemTableIterator(t.get()));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(DecodeKey(merged->key()), 1u);
+  merged->Next();
+  EXPECT_EQ(DecodeKey(merged->key()), 2u);
+  merged->Next();
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(MergingIteratorTest, InterleavedKeysMergeSorted) {
+  auto t1 = MakeTable({{1, "a", 1}, {3, "c", 3}, {5, "e", 5}});
+  auto t2 = MakeTable({{2, "b", 2}, {4, "d", 4}, {6, "f", 6}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(NewMemTableIterator(t1.get()));
+  children.push_back(NewMemTableIterator(t2.get()));
+  auto merged = NewMergingIterator(std::move(children));
+  uint64_t expected = 1;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    EXPECT_EQ(DecodeKey(merged->key()), expected++);
+  }
+  EXPECT_EQ(expected, 7u);
+}
+
+TEST(MergingIteratorTest, DuplicateKeysHighestSeqFirst) {
+  auto older = MakeTable({{1, "old", 5}});
+  auto newer = MakeTable({{1, "new", 9}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(NewMemTableIterator(older.get()));
+  children.push_back(NewMemTableIterator(newer.get()));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->value().ToString(), "new");
+  EXPECT_EQ(merged->seq(), 9u);
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->value().ToString(), "old");
+  merged->Next();
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(MergingIteratorTest, SeekAcrossChildren) {
+  auto t1 = MakeTable({{10, "a", 1}, {30, "c", 3}});
+  auto t2 = MakeTable({{20, "b", 2}, {40, "d", 4}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(NewMemTableIterator(t1.get()));
+  children.push_back(NewMemTableIterator(t2.get()));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->Seek(Slice(EncodeKey(25)));
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(DecodeKey(merged->key()), 30u);
+  merged->Next();
+  EXPECT_EQ(DecodeKey(merged->key()), 40u);
+}
+
+TEST(MergingIteratorTest, SkipEntriesWithKeyHelper) {
+  auto t1 = MakeTable({{1, "v1", 1}, {2, "x", 2}});
+  auto t2 = MakeTable({{1, "v2", 9}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(NewMemTableIterator(t1.get()));
+  children.push_back(NewMemTableIterator(t2.get()));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  // Pass the iterator's own key slice — the helper must pin it safely.
+  SkipEntriesWithKey(merged.get(), merged->key());
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(DecodeKey(merged->key()), 2u);
+}
+
+TEST(MergingIteratorTest, ManyChildrenStress) {
+  std::vector<std::unique_ptr<MemTable>> tables;
+  std::vector<std::unique_ptr<Iterator>> children;
+  constexpr int kTables = 16;
+  constexpr uint64_t kPerTable = 100;
+  for (int t = 0; t < kTables; ++t) {
+    std::vector<std::tuple<uint64_t, std::string, uint64_t>> entries;
+    for (uint64_t i = 0; i < kPerTable; ++i) {
+      const uint64_t key = i * kTables + static_cast<uint64_t>(t);
+      entries.emplace_back(key, "v", key + 1);
+    }
+    tables.push_back(MakeTable(entries));
+    children.push_back(NewMemTableIterator(tables.back().get()));
+  }
+  auto merged = NewMergingIterator(std::move(children));
+  uint64_t expected = 0;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    ASSERT_EQ(DecodeKey(merged->key()), expected++);
+  }
+  EXPECT_EQ(expected, kTables * kPerTable);
+}
+
+}  // namespace
+}  // namespace flodb

@@ -1,0 +1,267 @@
+// Multi-insert (Algorithm 1): batch inserts must be equivalent to the
+// same sequence of single inserts, under every batch shape the draining
+// path produces (sorted runs, tight neighborhoods, duplicates, overlaps
+// with existing content).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "flodb/common/key_codec.h"
+#include "flodb/common/random.h"
+#include "flodb/mem/skiplist.h"
+
+namespace flodb {
+namespace {
+
+using BatchEntry = ConcurrentSkipList::BatchEntry;
+
+class MultiInsertTest : public ::testing::Test {
+ protected:
+  // Builds a sorted batch from (key, value, seq) triples.
+  std::vector<BatchEntry> MakeBatch(
+      std::vector<std::tuple<uint64_t, std::string, uint64_t>> items) {
+    keys_.clear();
+    values_.clear();
+    std::sort(items.begin(), items.end());
+    std::vector<BatchEntry> batch;
+    for (auto& [k, v, seq] : items) {
+      keys_.push_back(EncodeKey(k));
+      values_.push_back(v);
+      batch.push_back(BatchEntry{Slice(keys_.back()), Slice(values_.back()), ValueType::kValue,
+                                 seq});
+    }
+    return batch;
+  }
+
+  void VerifyAgainstModel(const std::map<std::string, std::pair<std::string, uint64_t>>& model) {
+    EXPECT_EQ(list_.Count(), model.size());
+    ConcurrentSkipList::Iterator iter(&list_);
+    auto expected = model.begin();
+    for (iter.SeekToFirst(); iter.Valid(); iter.Next(), ++expected) {
+      ASSERT_NE(expected, model.end());
+      EXPECT_EQ(iter.key().ToString(), expected->first);
+      EXPECT_EQ(iter.value().ToString(), expected->second.first);
+      EXPECT_EQ(iter.seq(), expected->second.second);
+    }
+    EXPECT_EQ(expected, model.end());
+  }
+
+  ConcurrentArena arena_;
+  ConcurrentSkipList list_{&arena_};
+  std::deque<std::string> keys_;
+  std::deque<std::string> values_;
+};
+
+TEST_F(MultiInsertTest, EmptyBatchIsNoop) {
+  EXPECT_EQ(list_.MultiInsert({}), 0u);
+  EXPECT_EQ(list_.Count(), 0u);
+}
+
+TEST_F(MultiInsertTest, SingleElementBatch) {
+  auto batch = MakeBatch({{42, "v42", 1}});
+  EXPECT_EQ(list_.MultiInsert(batch), 1u);
+  std::string value;
+  ASSERT_TRUE(list_.Get(Slice(EncodeKey(42)), &value, nullptr, nullptr));
+  EXPECT_EQ(value, "v42");
+}
+
+TEST_F(MultiInsertTest, SortedBatchIntoEmptyList) {
+  std::vector<std::tuple<uint64_t, std::string, uint64_t>> items;
+  for (uint64_t k = 0; k < 100; ++k) {
+    items.emplace_back(k * 3, "v" + std::to_string(k), k + 1);
+  }
+  auto batch = MakeBatch(items);
+  EXPECT_EQ(list_.MultiInsert(batch), 100u);
+  EXPECT_EQ(list_.Count(), 100u);
+}
+
+TEST_F(MultiInsertTest, TightNeighborhoodBatch) {
+  // Pre-populate a spread-out list, then multi-insert a dense cluster —
+  // the drain-from-one-partition shape that maximizes path reuse.
+  for (uint64_t k = 0; k < 10'000; k += 100) {
+    list_.Insert(Slice(EncodeKey(k)), Slice("base"), 1, ValueType::kValue);
+  }
+  std::vector<std::tuple<uint64_t, std::string, uint64_t>> items;
+  for (uint64_t k = 5000; k < 5050; ++k) {
+    items.emplace_back(k, "cluster", k);
+  }
+  auto batch = MakeBatch(items);
+  // 5000 exists already (updated in place), 49 new.
+  EXPECT_EQ(list_.MultiInsert(batch), 49u);
+  std::string value;
+  ASSERT_TRUE(list_.Get(Slice(EncodeKey(5000)), &value, nullptr, nullptr));
+  EXPECT_EQ(value, "cluster");
+  ASSERT_TRUE(list_.Get(Slice(EncodeKey(5049)), &value, nullptr, nullptr));
+  EXPECT_EQ(value, "cluster");
+}
+
+TEST_F(MultiInsertTest, BatchOverlappingExistingKeysUpdates) {
+  for (uint64_t k = 0; k < 50; ++k) {
+    list_.Insert(Slice(EncodeKey(k)), Slice("old"), k + 1, ValueType::kValue);
+  }
+  std::vector<std::tuple<uint64_t, std::string, uint64_t>> items;
+  for (uint64_t k = 0; k < 50; ++k) {
+    items.emplace_back(k, "new", 100 + k);
+  }
+  auto batch = MakeBatch(items);
+  EXPECT_EQ(list_.MultiInsert(batch), 0u);  // all updates
+  EXPECT_EQ(list_.Count(), 50u);
+  std::string value;
+  for (uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(list_.Get(Slice(EncodeKey(k)), &value, nullptr, nullptr));
+    EXPECT_EQ(value, "new");
+  }
+}
+
+TEST_F(MultiInsertTest, EquivalentToSingleInserts) {
+  // Property: multi-insert(batch) == for e in batch: insert(e).
+  Random64 rng(11);
+  std::map<std::string, std::pair<std::string, uint64_t>> model;
+
+  ConcurrentArena arena2;
+  ConcurrentSkipList reference(&arena2);
+
+  uint64_t seq = 1;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::tuple<uint64_t, std::string, uint64_t>> items;
+    for (int i = 0; i < 64; ++i) {
+      const uint64_t k = rng.Uniform(500);
+      items.emplace_back(k, "r" + std::to_string(round) + "i" + std::to_string(i), seq++);
+    }
+    // Deduplicate keys inside the batch, keeping the highest seq (the
+    // Membuffer guarantees per-key uniqueness in real drains).
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end(),
+                            [](const auto& a, const auto& b) {
+                              return std::get<0>(a) == std::get<0>(b);
+                            }),
+                items.end());
+
+    auto batch = MakeBatch(items);
+    list_.MultiInsert(batch);
+    for (const BatchEntry& e : batch) {
+      reference.Insert(e.key, e.value, e.seq, e.type);
+      auto& slot = model[e.key.ToString()];
+      if (e.seq >= slot.second) {
+        slot = {e.value.ToString(), e.seq};
+      }
+    }
+  }
+  VerifyAgainstModel(model);
+  EXPECT_EQ(list_.Count(), reference.Count());
+}
+
+TEST_F(MultiInsertTest, InterleavedSingleAndMultiInserts) {
+  std::map<std::string, std::pair<std::string, uint64_t>> model;
+  uint64_t seq = 1;
+  Random64 rng(17);
+  for (int round = 0; round < 10; ++round) {
+    // Some singles.
+    for (int i = 0; i < 20; ++i) {
+      const uint64_t k = rng.Uniform(300);
+      std::string key = EncodeKey(k);
+      std::string value = "s" + std::to_string(seq);
+      list_.Insert(Slice(key), Slice(value), seq, ValueType::kValue);
+      auto& slot = model[key];
+      if (seq >= slot.second) {
+        slot = {value, seq};
+      }
+      ++seq;
+    }
+    // One batch.
+    std::vector<std::tuple<uint64_t, std::string, uint64_t>> items;
+    for (int i = 0; i < 30; ++i) {
+      items.emplace_back(rng.Uniform(300), "m" + std::to_string(seq), seq);
+      ++seq;
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end(),
+                            [](const auto& a, const auto& b) {
+                              return std::get<0>(a) == std::get<0>(b);
+                            }),
+                items.end());
+    auto batch = MakeBatch(items);
+    list_.MultiInsert(batch);
+    for (const BatchEntry& e : batch) {
+      auto& slot = model[e.key.ToString()];
+      if (e.seq >= slot.second) {
+        slot = {e.value.ToString(), e.seq};
+      }
+    }
+  }
+  VerifyAgainstModel(model);
+}
+
+TEST_F(MultiInsertTest, BatchWithTombstones) {
+  auto batch = MakeBatch({{1, "a", 1}, {2, "b", 2}});
+  list_.MultiInsert(batch);
+  std::vector<BatchEntry> tombs;
+  std::string key = EncodeKey(1);
+  tombs.push_back(BatchEntry{Slice(key), Slice(), ValueType::kTombstone, 3});
+  list_.MultiInsert(tombs);
+  ValueType type;
+  ASSERT_TRUE(list_.Get(Slice(EncodeKey(1)), nullptr, nullptr, &type));
+  EXPECT_EQ(type, ValueType::kTombstone);
+  ASSERT_TRUE(list_.Get(Slice(EncodeKey(2)), nullptr, nullptr, &type));
+  EXPECT_EQ(type, ValueType::kValue);
+}
+
+// Parameterized sweep: batch sizes x key ranges, list stays equivalent to
+// a std::map model.
+class MultiInsertSweep : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(MultiInsertSweep, ModelEquivalence) {
+  const int batch_size = std::get<0>(GetParam());
+  const uint64_t key_range = std::get<1>(GetParam());
+
+  ConcurrentArena arena;
+  ConcurrentSkipList list(&arena);
+  std::map<std::string, std::string> model;
+  Random64 rng(static_cast<uint64_t>(batch_size) * 31 + key_range);
+
+  uint64_t seq = 1;
+  std::deque<std::string> storage;
+  for (int round = 0; round < 15; ++round) {
+    std::vector<std::pair<std::string, std::string>> items;
+    for (int i = 0; i < batch_size; ++i) {
+      items.emplace_back(EncodeKey(rng.Uniform(key_range)), "v" + std::to_string(seq + i));
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end(),
+                            [](const auto& a, const auto& b) { return a.first == b.first; }),
+                items.end());
+    std::vector<ConcurrentSkipList::BatchEntry> batch;
+    for (auto& [k, v] : items) {
+      storage.push_back(k);
+      const std::string& key_ref = storage.back();
+      storage.push_back(v);
+      const std::string& value_ref = storage.back();
+      batch.push_back(ConcurrentSkipList::BatchEntry{Slice(key_ref), Slice(value_ref),
+                                                     ValueType::kValue, seq++});
+      model[key_ref] = value_ref;
+    }
+    list.MultiInsert(batch);
+  }
+
+  ASSERT_EQ(list.Count(), model.size());
+  ConcurrentSkipList::Iterator iter(&list);
+  auto expected = model.begin();
+  for (iter.SeekToFirst(); iter.Valid(); iter.Next(), ++expected) {
+    ASSERT_EQ(iter.key().ToString(), expected->first);
+    ASSERT_EQ(iter.value().ToString(), expected->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MultiInsertSweep,
+                         ::testing::Combine(::testing::Values(1, 5, 64, 256),
+                                            ::testing::Values(uint64_t{10}, uint64_t{1000},
+                                                              uint64_t{1} << 40)));
+
+}  // namespace
+}  // namespace flodb

@@ -1,0 +1,268 @@
+// Concurrency tests for ConcurrentSkipList: parallel inserts, parallel
+// multi-inserts, readers during writes, and the max-seq update rule under
+// contention. (Single-core hosts still exercise interleavings through
+// preemption; counts and invariants must hold regardless.)
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "flodb/common/key_codec.h"
+#include "flodb/common/random.h"
+#include "flodb/mem/skiplist.h"
+
+namespace flodb {
+namespace {
+
+TEST(SkipListConcurrentTest, ParallelDisjointInserts) {
+  ConcurrentArena arena;
+  ConcurrentSkipList list(&arena);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 4000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      KeyBuf buf;
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * kPerThread + i;
+        list.Insert(buf.Set(key), Slice("v"), key + 1, ValueType::kValue);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(list.Count(), kThreads * kPerThread);
+
+  // Full order check.
+  ConcurrentSkipList::Iterator iter(&list);
+  uint64_t expected = 0;
+  for (iter.SeekToFirst(); iter.Valid(); iter.Next()) {
+    ASSERT_EQ(DecodeKey(iter.key()), expected++);
+  }
+  EXPECT_EQ(expected, kThreads * kPerThread);
+}
+
+TEST(SkipListConcurrentTest, ParallelInsertsOfSameKeysConverge) {
+  ConcurrentArena arena;
+  ConcurrentSkipList list(&arena);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeys = 500;
+  std::atomic<uint64_t> seq{1};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      KeyBuf buf;
+      Random64 rng(static_cast<uint64_t>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())));
+      for (int i = 0; i < 3000; ++i) {
+        const uint64_t key = rng.Uniform(kKeys);
+        const uint64_t s = seq.fetch_add(1);
+        const std::string value = std::to_string(s);
+        list.Insert(buf.Set(key), Slice(value), s, ValueType::kValue);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  // No duplicate nodes despite racing inserts of equal keys.
+  EXPECT_LE(list.Count(), kKeys);
+
+  ConcurrentSkipList::Iterator iter(&list);
+  std::set<std::string> seen;
+  for (iter.SeekToFirst(); iter.Valid(); iter.Next()) {
+    ASSERT_TRUE(seen.insert(iter.key().ToString()).second) << "duplicate key node";
+    // Value must equal its own seq (written atomically as a cell).
+    EXPECT_EQ(iter.value().ToString(), std::to_string(iter.seq()));
+  }
+}
+
+TEST(SkipListConcurrentTest, MaxSeqWinsUnderContention) {
+  ConcurrentArena arena;
+  ConcurrentSkipList list(&arena);
+  constexpr int kThreads = 4;
+  constexpr int kUpdatesPerThread = 5000;
+  std::atomic<uint64_t> seq{1};
+  std::atomic<uint64_t> max_issued{0};
+
+  KeyBuf init;
+  list.Insert(init.Set(7), Slice("0"), 0, ValueType::kValue);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      KeyBuf buf;
+      for (int i = 0; i < kUpdatesPerThread; ++i) {
+        const uint64_t s = seq.fetch_add(1);
+        list.Insert(buf.Set(7), Slice(std::to_string(s)), s, ValueType::kValue);
+        uint64_t cur = max_issued.load();
+        while (cur < s && !max_issued.compare_exchange_weak(cur, s)) {
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::string value;
+  uint64_t final_seq;
+  KeyBuf buf;
+  ASSERT_TRUE(list.Get(buf.Set(7), &value, &final_seq, nullptr));
+  EXPECT_EQ(final_seq, max_issued.load());
+  EXPECT_EQ(value, std::to_string(final_seq));
+  EXPECT_EQ(list.Count(), 1u);
+}
+
+TEST(SkipListConcurrentTest, ConcurrentMultiInserts) {
+  ConcurrentArena arena;
+  ConcurrentSkipList list(&arena);
+  constexpr int kThreads = 4;
+  constexpr int kBatches = 40;
+  constexpr int kBatchSize = 50;
+  std::atomic<uint64_t> seq{1};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<std::string> keys;
+        std::vector<ConcurrentSkipList::BatchEntry> batch;
+        keys.reserve(kBatchSize);
+        // Disjoint ascending key ranges per (thread, batch).
+        const uint64_t base =
+            (static_cast<uint64_t>(t) * kBatches + static_cast<uint64_t>(b)) * kBatchSize;
+        for (int i = 0; i < kBatchSize; ++i) {
+          keys.push_back(EncodeKey(base + static_cast<uint64_t>(i)));
+        }
+        for (int i = 0; i < kBatchSize; ++i) {
+          batch.push_back(ConcurrentSkipList::BatchEntry{
+              Slice(keys[static_cast<size_t>(i)]), Slice("mv"), ValueType::kValue,
+              seq.fetch_add(1)});
+        }
+        list.MultiInsert(batch);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(list.Count(), static_cast<size_t>(kThreads) * kBatches * kBatchSize);
+
+  ConcurrentSkipList::Iterator iter(&list);
+  uint64_t count = 0;
+  std::string prev;
+  for (iter.SeekToFirst(); iter.Valid(); iter.Next()) {
+    const std::string cur = iter.key().ToString();
+    if (count > 0) {
+      ASSERT_LT(prev, cur) << "order violated at " << count;
+    }
+    prev = cur;
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<uint64_t>(kThreads) * kBatches * kBatchSize);
+}
+
+TEST(SkipListConcurrentTest, OverlappingMultiInsertsConverge) {
+  ConcurrentArena arena;
+  ConcurrentSkipList list(&arena);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeys = 200;
+  std::atomic<uint64_t> seq{1};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int b = 0; b < 30; ++b) {
+        std::vector<std::string> keys;
+        std::vector<ConcurrentSkipList::BatchEntry> batch;
+        for (uint64_t k = 0; k < kKeys; k += 3) {
+          keys.push_back(EncodeKey(k));
+        }
+        for (const std::string& k : keys) {
+          const uint64_t s = seq.fetch_add(1);
+          batch.push_back(ConcurrentSkipList::BatchEntry{Slice(k), Slice("x"),
+                                                         ValueType::kValue, s});
+        }
+        list.MultiInsert(batch);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(list.Count(), (kKeys + 2) / 3);
+}
+
+TEST(SkipListConcurrentTest, ReadersDuringWritesSeeSaneState) {
+  ConcurrentArena arena;
+  ConcurrentSkipList list(&arena);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> inserted_upto{0};
+
+  std::thread writer([&] {
+    KeyBuf buf;
+    for (uint64_t k = 0; k < 20'000; ++k) {
+      list.Insert(buf.Set(k), Slice("v"), k + 1, ValueType::kValue);
+      inserted_upto.store(k, std::memory_order_release);
+    }
+    stop.store(true);
+  });
+
+  std::thread reader([&] {
+    KeyBuf buf;
+    Random64 rng(3);
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t upto = inserted_upto.load(std::memory_order_acquire);
+      if (upto == 0) {
+        continue;
+      }
+      // Any key <= published watermark must be visible.
+      const uint64_t k = rng.Uniform(upto + 1);
+      ASSERT_TRUE(list.Get(buf.Set(k), nullptr, nullptr, nullptr)) << k << " of " << upto;
+    }
+  });
+
+  writer.join();
+  reader.join();
+  EXPECT_EQ(list.Count(), 20'000u);
+}
+
+TEST(SkipListConcurrentTest, IteratorDuringConcurrentInsertsStaysSorted) {
+  ConcurrentArena arena;
+  ConcurrentSkipList list(&arena);
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    KeyBuf buf;
+    Random64 rng(77);
+    while (!stop.load()) {
+      list.Insert(buf.Set(rng.Uniform(100'000)), Slice("v"), rng.Next(), ValueType::kValue);
+    }
+  });
+
+  for (int pass = 0; pass < 30; ++pass) {
+    ConcurrentSkipList::Iterator iter(&list);
+    std::string prev;
+    bool first = true;
+    for (iter.SeekToFirst(); iter.Valid(); iter.Next()) {
+      const std::string cur = iter.key().ToString();
+      if (!first) {
+        ASSERT_LT(prev, cur);
+      }
+      prev = cur;
+      first = false;
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace flodb

@@ -1,0 +1,79 @@
+#include "flodb/common/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace flodb {
+namespace {
+
+TEST(SliceTest, DefaultIsEmpty) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SliceTest, FromString) {
+  std::string str = "hello";
+  Slice s(str);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.ToString(), "hello");
+  EXPECT_EQ(s[1], 'e');
+}
+
+TEST(SliceTest, FromCString) {
+  Slice s("abc");
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(SliceTest, EqualityIncludesLength) {
+  EXPECT_EQ(Slice("abc"), Slice("abc"));
+  EXPECT_NE(Slice("abc"), Slice("abd"));
+  EXPECT_NE(Slice("abc"), Slice("ab"));
+}
+
+TEST(SliceTest, CompareIsLexicographic) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+}
+
+TEST(SliceTest, PrefixComparesSmaller) {
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("abc").compare(Slice("ab")), 0);
+}
+
+TEST(SliceTest, EmbeddedNulBytesCompare) {
+  const char a[] = {'a', '\0', 'b'};
+  const char b[] = {'a', '\0', 'c'};
+  EXPECT_LT(Slice(a, 3).compare(Slice(b, 3)), 0);
+  EXPECT_EQ(Slice(a, 3), Slice(a, 3));
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("abcdef");
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+  s.remove_prefix(4);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SliceTest, StartsWith) {
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_TRUE(Slice("abc").starts_with(Slice()));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+}
+
+TEST(SliceTest, RelationalOperators) {
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+  EXPECT_TRUE(Slice("b") > Slice("a"));
+  EXPECT_TRUE(Slice("a") <= Slice("a"));
+  EXPECT_TRUE(Slice("a") >= Slice("a"));
+}
+
+TEST(SliceTest, Clear) {
+  Slice s("abc");
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace flodb

@@ -1,0 +1,58 @@
+#include "flodb/sync/spinlock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace flodb {
+namespace {
+
+TEST(SpinLockTest, LockUnlock) {
+  SpinLock lock;
+  lock.lock();
+  lock.unlock();
+  lock.lock();
+  lock.unlock();
+}
+
+TEST(SpinLockTest, TryLockFailsWhenHeld) {
+  SpinLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinLockTest, MutualExclusionCounter) {
+  SpinLock lock;
+  int counter = 0;  // deliberately non-atomic: the lock must protect it
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        SpinLockGuard guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(BackoffTest, PauseProgressesWithoutBlocking) {
+  Backoff backoff;
+  for (int i = 0; i < 100; ++i) {
+    backoff.Pause();
+  }
+  backoff.Reset();
+  backoff.Pause();
+}
+
+}  // namespace
+}  // namespace flodb

@@ -1,0 +1,56 @@
+#include "flodb/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace flodb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NotFound) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, NotFoundWithoutMessage) {
+  Status s = Status::NotFound();
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound");
+}
+
+TEST(StatusTest, EachCodePredicates) {
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bad block");
+  Status t = s;
+  EXPECT_TRUE(t.IsCorruption());
+  EXPECT_EQ(t.ToString(), "Corruption: bad block");
+  EXPECT_TRUE(s.IsCorruption());  // source unaffected
+}
+
+TEST(StatusTest, OkCopyStaysOk) {
+  Status s = Status::OK();
+  Status t = s;
+  EXPECT_TRUE(t.ok());
+}
+
+TEST(StatusTest, CodeAccessor) {
+  EXPECT_EQ(Status().code(), Status::Code::kOk);
+  EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace flodb

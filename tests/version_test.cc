@@ -1,0 +1,181 @@
+#include "flodb/disk/version.h"
+
+#include <gtest/gtest.h>
+
+#include "flodb/common/key_codec.h"
+#include "flodb/disk/mem_env.h"
+
+namespace flodb {
+namespace {
+
+FileMetaData MakeFile(uint64_t number, uint64_t lo, uint64_t hi, uint64_t max_seq = 1) {
+  FileMetaData f;
+  f.number = number;
+  f.file_size = 1000;
+  f.entries = 10;
+  f.smallest = EncodeKey(lo);
+  f.largest = EncodeKey(hi);
+  f.smallest_seq = 1;
+  f.largest_seq = max_seq;
+  return f;
+}
+
+TEST(FileMetaDataTest, OverlapChecks) {
+  FileMetaData f = MakeFile(1, 100, 200);
+  EXPECT_TRUE(f.OverlapsRange(Slice(EncodeKey(150)), Slice(EncodeKey(160))));
+  EXPECT_TRUE(f.OverlapsRange(Slice(EncodeKey(50)), Slice(EncodeKey(100))));
+  EXPECT_TRUE(f.OverlapsRange(Slice(EncodeKey(200)), Slice(EncodeKey(300))));
+  EXPECT_FALSE(f.OverlapsRange(Slice(EncodeKey(201)), Slice(EncodeKey(300))));
+  EXPECT_FALSE(f.OverlapsRange(Slice(EncodeKey(0)), Slice(EncodeKey(99))));
+  // Open-ended ranges.
+  EXPECT_TRUE(f.OverlapsRange(Slice(), Slice(EncodeKey(300))));
+  EXPECT_TRUE(f.OverlapsRange(Slice(EncodeKey(150)), Slice()));
+  EXPECT_TRUE(f.OverlapsRange(Slice(), Slice()));
+
+  EXPECT_TRUE(f.ContainsKey(Slice(EncodeKey(100))));
+  EXPECT_TRUE(f.ContainsKey(Slice(EncodeKey(200))));
+  EXPECT_FALSE(f.ContainsKey(Slice(EncodeKey(99))));
+  EXPECT_FALSE(f.ContainsKey(Slice(EncodeKey(201))));
+}
+
+class VersionSetTest : public ::testing::Test {
+ protected:
+  VersionSetTest() : versions_(&env_, "/db", 7) {}
+
+  MemEnv env_;
+  VersionSet versions_;
+};
+
+TEST_F(VersionSetTest, FreshRecoverStartsEmpty) {
+  ASSERT_TRUE(versions_.Recover().ok());
+  auto v = versions_.Current();
+  EXPECT_EQ(v->NumFiles(), 0);
+  EXPECT_EQ(v->NumLevels(), 7);
+}
+
+TEST_F(VersionSetTest, AddAndDeleteFiles) {
+  ASSERT_TRUE(versions_.Recover().ok());
+  VersionEdit edit;
+  edit.added.emplace_back(0, MakeFile(1, 0, 100));
+  edit.added.emplace_back(0, MakeFile(2, 50, 150));
+  edit.added.emplace_back(1, MakeFile(3, 0, 60));
+  ASSERT_TRUE(versions_.LogAndApply(edit).ok());
+
+  auto v = versions_.Current();
+  EXPECT_EQ(v->LevelFiles(0).size(), 2u);
+  EXPECT_EQ(v->LevelFiles(1).size(), 1u);
+
+  VersionEdit edit2;
+  edit2.deleted.emplace_back(0, 1);
+  ASSERT_TRUE(versions_.LogAndApply(edit2).ok());
+  v = versions_.Current();
+  EXPECT_EQ(v->LevelFiles(0).size(), 1u);
+  EXPECT_EQ(v->LevelFiles(0)[0].number, 2u);
+}
+
+TEST_F(VersionSetTest, OldVersionsRemainValid) {
+  ASSERT_TRUE(versions_.Recover().ok());
+  VersionEdit edit;
+  edit.added.emplace_back(0, MakeFile(1, 0, 100));
+  ASSERT_TRUE(versions_.LogAndApply(edit).ok());
+
+  auto pinned = versions_.Current();
+  VersionEdit edit2;
+  edit2.deleted.emplace_back(0, 1);
+  ASSERT_TRUE(versions_.LogAndApply(edit2).ok());
+
+  EXPECT_EQ(pinned->LevelFiles(0).size(), 1u) << "pinned version must be immutable";
+  EXPECT_EQ(versions_.Current()->LevelFiles(0).size(), 0u);
+
+  // GC must still see file 1 as live while pinned...
+  EXPECT_EQ(versions_.AllLiveFileNumbers().count(1), 1u);
+  // ...but not the current-only view.
+  EXPECT_EQ(versions_.LiveFileNumbers().count(1), 0u);
+  pinned.reset();
+  EXPECT_EQ(versions_.AllLiveFileNumbers().count(1), 0u);
+}
+
+TEST_F(VersionSetTest, PersistAndRecover) {
+  ASSERT_TRUE(versions_.Recover().ok());
+  VersionEdit edit;
+  edit.added.emplace_back(0, MakeFile(7, 10, 20, 99));
+  edit.added.emplace_back(2, MakeFile(8, 30, 40, 50));
+  ASSERT_TRUE(versions_.LogAndApply(edit).ok());
+  const uint64_t next = versions_.NewFileNumber();
+
+  VersionSet recovered(&env_, "/db", 7);
+  ASSERT_TRUE(recovered.Recover().ok());
+  auto v = recovered.Current();
+  ASSERT_EQ(v->LevelFiles(0).size(), 1u);
+  EXPECT_EQ(v->LevelFiles(0)[0].number, 7u);
+  EXPECT_EQ(v->LevelFiles(0)[0].largest_seq, 99u);
+  EXPECT_EQ(v->LevelFiles(0)[0].smallest, EncodeKey(10));
+  ASSERT_EQ(v->LevelFiles(2).size(), 1u);
+  EXPECT_EQ(v->LevelFiles(2)[0].number, 8u);
+  EXPECT_GT(recovered.NewFileNumber(), next - 1) << "file counter must not regress";
+  EXPECT_EQ(recovered.MaxPersistedSeq(), 99u);
+}
+
+TEST_F(VersionSetTest, CorruptManifestRejected) {
+  ASSERT_TRUE(versions_.Recover().ok());
+  VersionEdit edit;
+  edit.added.emplace_back(0, MakeFile(1, 0, 10));
+  ASSERT_TRUE(versions_.LogAndApply(edit).ok());
+
+  // Corrupt the manifest in place.
+  std::string current;
+  ASSERT_TRUE(ReadFileToString(&env_, "/db/CURRENT", &current).ok());
+  while (!current.empty() && current.back() == '\n') {
+    current.pop_back();
+  }
+  const std::string manifest = "/db/" + current;
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env_, manifest, &data).ok());
+  data[5] = static_cast<char>(data[5] ^ 0xff);
+  ASSERT_TRUE(WriteStringToFile(&env_, Slice(data), manifest, false).ok());
+
+  VersionSet recovered(&env_, "/db", 7);
+  EXPECT_TRUE(recovered.Recover().IsCorruption());
+}
+
+TEST_F(VersionSetTest, LevelsStayKeySorted) {
+  ASSERT_TRUE(versions_.Recover().ok());
+  VersionEdit edit;
+  edit.added.emplace_back(1, MakeFile(3, 200, 300));
+  edit.added.emplace_back(1, MakeFile(4, 0, 100));
+  edit.added.emplace_back(1, MakeFile(5, 400, 500));
+  ASSERT_TRUE(versions_.LogAndApply(edit).ok());
+  auto v = versions_.Current();
+  const auto& files = v->LevelFiles(1);
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0].number, 4u);
+  EXPECT_EQ(files[1].number, 3u);
+  EXPECT_EQ(files[2].number, 5u);
+}
+
+TEST_F(VersionSetTest, OverlappingFilesQuery) {
+  ASSERT_TRUE(versions_.Recover().ok());
+  VersionEdit edit;
+  edit.added.emplace_back(1, MakeFile(1, 0, 100));
+  edit.added.emplace_back(1, MakeFile(2, 101, 200));
+  edit.added.emplace_back(1, MakeFile(3, 201, 300));
+  ASSERT_TRUE(versions_.LogAndApply(edit).ok());
+  auto v = versions_.Current();
+  EXPECT_EQ(v->OverlappingFiles(1, Slice(EncodeKey(150)), Slice(EncodeKey(250))).size(), 2u);
+  EXPECT_EQ(v->OverlappingFiles(1, Slice(EncodeKey(301)), Slice()).size(), 0u);
+  EXPECT_EQ(v->OverlappingFiles(1, Slice(), Slice()).size(), 3u);
+}
+
+TEST_F(VersionSetTest, IsBottommostForRange) {
+  ASSERT_TRUE(versions_.Recover().ok());
+  VersionEdit edit;
+  edit.added.emplace_back(2, MakeFile(1, 100, 200));
+  ASSERT_TRUE(versions_.LogAndApply(edit).ok());
+  auto v = versions_.Current();
+  EXPECT_FALSE(v->IsBottommostForRange(1, Slice(EncodeKey(150)), Slice(EncodeKey(160))));
+  EXPECT_TRUE(v->IsBottommostForRange(2, Slice(EncodeKey(150)), Slice(EncodeKey(160))));
+  EXPECT_TRUE(v->IsBottommostForRange(1, Slice(EncodeKey(300)), Slice(EncodeKey(400))));
+}
+
+}  // namespace
+}  // namespace flodb
