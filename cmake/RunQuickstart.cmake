@@ -1,0 +1,13 @@
+# Runs the quickstart example against a throwaway DB directory.
+# Usage: cmake -DQUICKSTART_EXE=<path> -DQUICKSTART_DB=<dir> -P RunQuickstart.cmake
+#
+# The directory is wiped first so reruns (and parallel build trees)
+# never see stale or shared state.
+file(REMOVE_RECURSE "${QUICKSTART_DB}")
+execute_process(
+  COMMAND "${QUICKSTART_EXE}" "${QUICKSTART_DB}"
+  RESULT_VARIABLE rc)
+file(REMOVE_RECURSE "${QUICKSTART_DB}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart exited with ${rc}")
+endif()

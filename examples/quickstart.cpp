@@ -8,15 +8,15 @@
 #include "flodb/core/flodb.h"
 #include "flodb/disk/env.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flodb;
 
   // 1. Configure: 16MB memory budget (4MB Membuffer + 12MB Memtable),
-  //    real files under /tmp.
+  //    real files under /tmp (or a directory given as argv[1]).
   FloDbOptions options;
   options.memory_budget_bytes = 16u << 20;
   options.disk.env = GetPosixEnv();
-  options.disk.path = "/tmp/flodb_quickstart";
+  options.disk.path = argc > 1 ? argv[1] : "/tmp/flodb_quickstart";
   options.enable_wal = true;  // survive crashes
 
   std::unique_ptr<FloDB> db;

@@ -54,6 +54,14 @@ Status FloDB::Open(const FloDbOptions& options, std::unique_ptr<FloDB>* out) {
   if (options.membuffer_fraction <= 0.0 || options.membuffer_fraction >= 1.0) {
     return Status::InvalidArgument("membuffer_fraction must be in (0, 1)");
   }
+  if (options.memory_budget_bytes == 0) {
+    return Status::InvalidArgument("memory_budget_bytes must be positive");
+  }
+  if (options.drain_threads < 0) {
+    // 0 is allowed and clamped to one thread by StartBackgroundThreads;
+    // a negative count is a configuration error.
+    return Status::InvalidArgument("drain_threads must not be negative");
+  }
 
   auto db = std::unique_ptr<FloDB>(new FloDB(options));
   if (options.enable_persistence) {

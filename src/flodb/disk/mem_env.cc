@@ -36,7 +36,7 @@ class MemRandomAccessFile final : public RandomAccessFile {
  public:
   explicit MemRandomAccessFile(std::shared_ptr<std::string> data) : data_(std::move(data)) {}
 
-  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+  Status Read(uint64_t offset, size_t n, Slice* result, char* /*scratch*/) const override {
     if (offset >= data_->size()) {
       *result = Slice();
       return Status::OK();
@@ -135,7 +135,7 @@ Status MemEnv::RemoveFile(const std::string& fname) {
   return Status::OK();
 }
 
-Status MemEnv::CreateDir(const std::string& dirname) { return Status::OK(); }
+Status MemEnv::CreateDir(const std::string& /*dirname*/) { return Status::OK(); }
 
 Status MemEnv::GetFileSize(const std::string& fname, uint64_t* file_size) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -9,6 +9,14 @@
 
 #include "flodb/sync/backoff.h"
 
+#if defined(__SANITIZE_THREAD__)
+#define FLODB_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FLODB_TSAN 1
+#endif
+#endif
+
 namespace flodb {
 
 namespace {
@@ -92,10 +100,17 @@ void Rcu::ReadLock() {
   }
   if (entry->depth++ == 0) {
     uint64_t epoch = global_epoch_.load(std::memory_order_relaxed);
-    entry->slot->epoch.store(epoch, std::memory_order_seq_cst);
     // Order the epoch announcement before any component-pointer load the
     // protected section performs (see Synchronize for the pairing).
+#if defined(FLODB_TSAN)
+    // TSan neither models fences nor compiles them warning-free under
+    // gcc (-Wtsan); a seq_cst RMW provides the same StoreLoad ordering
+    // and participates in the race detector's happens-before graph.
+    entry->slot->epoch.exchange(epoch, std::memory_order_seq_cst);
+#else
+    entry->slot->epoch.store(epoch, std::memory_order_seq_cst);
     std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
   }
 }
 
