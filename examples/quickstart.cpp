@@ -1,6 +1,7 @@
-// Quickstart: open a FloDB store on real files, write, read, scan,
+// Quickstart: open a FloDB store on real files, write (single keys and
+// an atomic WriteBatch), read, scan (materialized and streaming),
 // delete, flush, and inspect the stats. This is the minimal end-to-end
-// tour of the public API.
+// tour of the v2 public API.
 
 #include <cstdio>
 #include <memory>
@@ -38,17 +39,30 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 3. Point lookup.
+  // 3. Batched write: all entries commit as one unit — one WAL record,
+  //    recovered all-or-nothing after a crash. WriteOptions{.sync=true}
+  //    would fsync once for the whole batch (group commit).
+  WriteBatch batch;
+  batch.Put(Slice("config:theme"), Slice("dark"));
+  batch.Put(Slice("config:lang"), Slice("en"));
+  batch.Delete(Slice("config:beta"));
+  status = db->Write(WriteOptions(), &batch);
+  if (!status.ok()) {
+    fprintf(stderr, "batch write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // 4. Point lookup.
   std::string value;
   status = db->Get(Slice("user:0042"), &value);
   printf("Get(user:0042)  -> %s\n", status.ok() ? value.c_str() : status.ToString().c_str());
 
-  // 4. Delete, then observe the miss.
+  // 5. Delete, then observe the miss.
   db->Delete(Slice("user:0042"));
   status = db->Get(Slice("user:0042"), &value);
   printf("after Delete    -> %s\n", status.ToString().c_str());
 
-  // 5. Range scan: all users in [user:0100, user:0110).
+  // 6. Range scan: all users in [user:0100, user:0110).
   std::vector<std::pair<std::string, std::string>> results;
   status = db->Scan(Slice("user:0100"), Slice("user:0110"), 0, &results);
   printf("Scan [0100,0110) -> %zu entries:\n", results.size());
@@ -56,7 +70,17 @@ int main(int argc, char** argv) {
     printf("  %s = %s\n", k.c_str(), v.c_str());
   }
 
-  // 6. Force everything to disk and print the stats.
+  // 7. Streaming scan: iterate a range in bounded memory — the way to
+  //    read ranges that may not fit in RAM.
+  size_t streamed = 0;
+  auto it = db->NewScanIterator(ReadOptions(), Slice("user:"), Slice("user;"));
+  for (; it->Valid(); it->Next()) {
+    ++streamed;
+  }
+  printf("Iterator over all users -> %zu entries (peak buffer %zu)\n", streamed,
+         it->MaxBufferedEntries());
+
+  // 8. Force everything to disk and print the stats.
   db->FlushAll();
   const StoreStats stats = db->GetStats();
   printf("\nstats: puts=%llu gets=%llu scans=%llu\n",

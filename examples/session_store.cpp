@@ -5,6 +5,12 @@
 // FloDB's IN-PLACE updates, the hot set stays resident in the memory
 // component instead of generating an endless stream of versions — the
 // effect behind Figure 16.
+//
+// v2 API note: the single-key Put/Get calls below are the one-entry
+// convenience wrappers over KVStore::Write/Get(ReadOptions) — the right
+// shape for interactive traffic, where each session op must be
+// acknowledged individually (contrast examples/message_queue.cpp, whose
+// bulk producers use WriteBatch group commits).
 
 #include <atomic>
 #include <cstdio>

@@ -43,14 +43,36 @@ BaselineStore::~BaselineStore() {
   delete imm_.load(std::memory_order_relaxed);
 }
 
-Status BaselineStore::Put(const Slice& key, const Slice& value) {
-  puts_.fetch_add(1, std::memory_order_relaxed);
-  return Update(key, value, ValueType::kValue);
-}
-
-Status BaselineStore::Delete(const Slice& key) {
-  deletes_.fetch_add(1, std::memory_order_relaxed);
-  return Update(key, Slice(), ValueType::kTombstone);
+Status BaselineStore::Write(const WriteOptions& options, WriteBatch* batch) {
+  if (batch == nullptr) {
+    return Status::InvalidArgument("null write batch");
+  }
+  if (batch->Empty()) {
+    return Status::OK();
+  }
+  // Apply entry by entry through the configured write protocol; the
+  // single-writer designs group concurrent batches in their leader queue
+  // anyway, which is the only batching the originals did.
+  Status result;
+  uint64_t value_entries = 0;
+  Status s = batch->ForEach([&](const Slice& key, const Slice& value, ValueType type) {
+    if (type == ValueType::kValue) {
+      ++value_entries;
+    }
+    if (result.ok()) {
+      result = Update(key, value, type);
+    }
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  if (options.fill_stats) {
+    batch_writes_.fetch_add(1, std::memory_order_relaxed);
+    batch_entries_.fetch_add(batch->Count(), std::memory_order_relaxed);
+    puts_.fetch_add(value_entries, std::memory_order_relaxed);
+    deletes_.fetch_add(batch->Count() - value_entries, std::memory_order_relaxed);
+  }
+  return result;
 }
 
 Status BaselineStore::Update(const Slice& key, const Slice& value, ValueType type) {
@@ -201,8 +223,10 @@ Status BaselineStore::WriteClsm(const Slice& key, const Slice& value, ValueType 
   }
 }
 
-Status BaselineStore::Get(const Slice& key, std::string* value) {
-  gets_.fetch_add(1, std::memory_order_relaxed);
+Status BaselineStore::Get(const ReadOptions& options, const Slice& key, std::string* value) {
+  if (options.fill_stats) {
+    gets_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   const bool global_lock_reads = options_.concurrency == Concurrency::kLevelDB ||
                                  options_.concurrency == Concurrency::kHyperLevelDB;
@@ -247,9 +271,12 @@ Status BaselineStore::Get(const Slice& key, std::string* value) {
   return result;
 }
 
-Status BaselineStore::Scan(const Slice& low_key, const Slice& high_key, size_t limit,
+Status BaselineStore::Scan(const ReadOptions& options, const Slice& low_key,
+                           const Slice& high_key, size_t limit,
                            std::vector<std::pair<std::string, std::string>>* out) {
-  scans_.fetch_add(1, std::memory_order_relaxed);
+  if (options.fill_stats) {
+    scans_.fetch_add(1, std::memory_order_relaxed);
+  }
   out->clear();
 
   const bool global_lock_reads = options_.concurrency == Concurrency::kLevelDB ||
@@ -307,6 +334,17 @@ Status BaselineStore::Scan(const Slice& low_key, const Slice& high_key, size_t l
     std::lock_guard<std::mutex> db(db_mu_);
   }
   return Status::OK();
+}
+
+std::unique_ptr<ScanIterator> BaselineStore::NewScanIterator(const ReadOptions& options,
+                                                             const Slice& low_key,
+                                                             const Slice& high_key) {
+  if (options.fill_stats) {
+    iterator_scans_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The generic chunked cursor over Scan() — each chunk is a snapshot of
+  // its own, fetched resuming after the last returned key.
+  return KVStore::NewScanIterator(options, low_key, high_key);
 }
 
 void BaselineStore::FlushLoop() {
@@ -371,6 +409,9 @@ StoreStats BaselineStore::GetStats() const {
   stats.gets = gets_.load(std::memory_order_relaxed);
   stats.deletes = deletes_.load(std::memory_order_relaxed);
   stats.scans = scans_.load(std::memory_order_relaxed);
+  stats.batch_writes = batch_writes_.load(std::memory_order_relaxed);
+  stats.batch_entries = batch_entries_.load(std::memory_order_relaxed);
+  stats.iterator_scans = iterator_scans_.load(std::memory_order_relaxed);
   if (disk_ != nullptr) {
     stats.disk = disk_->GetStats();
   }

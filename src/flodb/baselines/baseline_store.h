@@ -63,11 +63,20 @@ class BaselineStore final : public KVStore {
   BaselineStore(const BaselineStore&) = delete;
   BaselineStore& operator=(const BaselineStore&) = delete;
 
-  Status Put(const Slice& key, const Slice& value) override;
-  Status Delete(const Slice& key) override;
-  Status Get(const Slice& key, std::string* value) override;
-  Status Scan(const Slice& low_key, const Slice& high_key, size_t limit,
-              std::vector<std::pair<std::string, std::string>>* out) override;
+  using KVStore::Get;
+  using KVStore::Scan;
+
+  // v2 surface. A batch funnels through the store's own write protocol
+  // entry by entry (the single-writer designs still group concurrent
+  // batches via their leader queue); WriteOptions::sync is a no-op — the
+  // baselines carry no WAL. ReadOptions::snapshot_mode is ignored: the
+  // multi-versioned memtable gives every scan a snapshot for free.
+  Status Write(const WriteOptions& options, WriteBatch* batch) override;
+  Status Get(const ReadOptions& options, const Slice& key, std::string* value) override;
+  Status Scan(const ReadOptions& options, const Slice& low_key, const Slice& high_key,
+              size_t limit, std::vector<std::pair<std::string, std::string>>* out) override;
+  std::unique_ptr<ScanIterator> NewScanIterator(const ReadOptions& options, const Slice& low_key,
+                                                const Slice& high_key) override;
   Status FlushAll() override;
   StoreStats GetStats() const override;
   std::string Name() const override { return options_.name; }
@@ -127,6 +136,7 @@ class BaselineStore final : public KVStore {
   std::atomic<bool> stop_{false};
 
   mutable std::atomic<uint64_t> puts_{0}, gets_{0}, deletes_{0}, scans_{0};
+  mutable std::atomic<uint64_t> batch_writes_{0}, batch_entries_{0}, iterator_scans_{0};
 };
 
 }  // namespace flodb

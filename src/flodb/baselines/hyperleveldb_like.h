@@ -1,6 +1,9 @@
 // HyperLevelDB-like baseline: concurrent memtable inserts, global mutex at
 // the start and end of each write, in-order version publication (§2.2,
-// "HyperLevelDB"). Factory over BaselineStore.
+// "HyperLevelDB"). Factory over BaselineStore, which carries the full v2
+// KVStore surface: each WriteBatch entry pays the bracketing mutexes and
+// in-order publication individually — the contrast the batch benchmarks
+// measure against FloDB's single-pass group commit.
 
 #ifndef FLODB_BASELINES_HYPERLEVELDB_LIKE_H_
 #define FLODB_BASELINES_HYPERLEVELDB_LIKE_H_

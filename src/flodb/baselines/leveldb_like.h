@@ -1,6 +1,8 @@
 // LevelDB-like baseline: single-writer queue with a group-commit leader,
 // global mutex bracketing every read (§2.2, "LevelDB"). Factory over
-// BaselineStore.
+// BaselineStore, which carries the full v2 KVStore surface: WriteBatch
+// commits funnel through the leader queue entry by entry, and streaming
+// ScanIterators resolve to chunked snapshot scans.
 
 #ifndef FLODB_BASELINES_LEVELDB_LIKE_H_
 #define FLODB_BASELINES_LEVELDB_LIKE_H_

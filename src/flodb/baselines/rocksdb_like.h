@@ -4,6 +4,8 @@
 //    "Hash-based memtable implementations" [7]);
 //  * cLSM mode ("RocksDB/cLSM" [13]): global shared-exclusive lock with
 //    concurrent writes.
+// Factory over BaselineStore, which carries the full v2 KVStore surface
+// (WriteBatch commits, ReadOptions, chunked ScanIterators).
 
 #ifndef FLODB_BASELINES_ROCKSDB_LIKE_H_
 #define FLODB_BASELINES_ROCKSDB_LIKE_H_

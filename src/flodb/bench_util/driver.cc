@@ -11,19 +11,22 @@ namespace flodb::bench {
 namespace {
 
 struct ThreadTotals {
-  uint64_t gets = 0, puts = 0, deletes = 0, scans = 0, keys = 0;
+  uint64_t gets = 0, puts = 0, deletes = 0, scans = 0, batch_commits = 0, keys = 0;
   LatencyRecorder read_lat;
   LatencyRecorder write_lat;
 };
 
-void WorkerLoop(KVStore* store, const WorkloadSpec& spec, int thread_id, double seconds,
-                uint64_t ops_limit, bool record_latency, std::atomic<bool>* stop,
-                ThreadTotals* totals) {
+void WorkerLoop(KVStore* store, const WorkloadSpec& spec, int thread_id,
+                const DriverOptions& options, std::atomic<bool>* stop, ThreadTotals* totals) {
+  const double seconds = options.seconds;
+  const uint64_t ops_limit = options.ops_per_thread;
+  const bool record_latency = options.record_latency;
   WorkloadGenerator gen(spec, thread_id);
   KeyBuf key_buf;
   KeyBuf high_buf;
   std::string value;
   std::vector<std::pair<std::string, std::string>> scan_out;
+  WriteBatch batch;
   const uint64_t deadline = NowNanos() + static_cast<uint64_t>(seconds * 1e9);
 
   uint64_t check = 0;
@@ -43,7 +46,7 @@ void WorkerLoop(KVStore* store, const WorkloadSpec& spec, int thread_id, double 
     const uint64_t t0 = record_latency ? NowNanos() : 0;
     switch (op) {
       case OpType::kGet:
-        store->Get(key_buf.Set(key), &value);
+        store->Get(options.read_options, key_buf.Set(key), &value);
         ++totals->gets;
         ++totals->keys;
         if (record_latency) {
@@ -51,7 +54,7 @@ void WorkerLoop(KVStore* store, const WorkloadSpec& spec, int thread_id, double 
         }
         break;
       case OpType::kPut:
-        store->Put(key_buf.Set(key), gen.NextValue());
+        store->Put(options.write_options, key_buf.Set(key), gen.NextValue());
         ++totals->puts;
         ++totals->keys;
         if (record_latency) {
@@ -59,17 +62,35 @@ void WorkerLoop(KVStore* store, const WorkloadSpec& spec, int thread_id, double 
         }
         break;
       case OpType::kDelete:
-        store->Delete(key_buf.Set(key));
+        store->Delete(options.write_options, key_buf.Set(key));
         ++totals->deletes;
         ++totals->keys;
         if (record_latency) {
           totals->write_lat.Record(NowNanos() - t0);
         }
         break;
+      case OpType::kBatchPut: {
+        // One group commit of `batch_entries` random-key Puts; the first
+        // key reuses this op's draw so mixes stay comparable.
+        batch.Clear();
+        batch.Put(key_buf.Set(key), gen.NextValue());
+        for (size_t e = 1; e < spec.batch_entries; ++e) {
+          const uint64_t k = SpreadKey(gen.NextKey(), spec.key_space);
+          batch.Put(key_buf.Set(k), gen.NextValue());
+        }
+        store->Write(options.write_options, &batch);
+        ++totals->batch_commits;
+        totals->puts += batch.Count();
+        totals->keys += batch.Count();
+        if (record_latency) {
+          totals->write_lat.Record(NowNanos() - t0);
+        }
+        break;
+      }
       case OpType::kScan: {
         const uint64_t high = SpreadKey(logical_key + spec.scan_length, spec.key_space);
-        store->Scan(key_buf.Set(key), high_buf.Set(high < key ? UINT64_MAX : high),
-                    spec.scan_length, &scan_out);
+        store->Scan(options.read_options, key_buf.Set(key),
+                    high_buf.Set(high < key ? UINT64_MAX : high), spec.scan_length, &scan_out);
         ++totals->scans;
         // Key-throughput accounting as in Golan-Gueta et al. (§5.2).
         totals->keys += spec.scan_length;
@@ -90,9 +111,9 @@ DriverResult RunWorkload(KVStore* store, const WorkloadSpec& spec, const DriverO
   for (int t = 0; t < options.threads; ++t) {
     const WorkloadSpec& thread_spec =
         (options.two_role && t == 0) ? options.writer_spec : spec;
-    threads.emplace_back(WorkerLoop, store, thread_spec, t, options.seconds,
-                         options.ops_per_thread, options.record_latency, &stop,
-                         &totals[static_cast<size_t>(t)]);
+    threads.emplace_back([&, t, &thread_spec = thread_spec] {
+      WorkerLoop(store, thread_spec, t, options, &stop, &totals[static_cast<size_t>(t)]);
+    });
   }
   for (std::thread& t : threads) {
     t.join();
@@ -107,6 +128,7 @@ DriverResult RunWorkload(KVStore* store, const WorkloadSpec& spec, const DriverO
     result.puts += t.puts;
     result.deletes += t.deletes;
     result.scans += t.scans;
+    result.batch_commits += t.batch_commits;
     result.keys_accessed += t.keys;
     reads.Merge(t.read_lat);
     writes.Merge(t.write_lat);

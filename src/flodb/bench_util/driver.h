@@ -25,14 +25,19 @@ struct DriverOptions {
   // Burst mode (Figures 15/17): when non-zero each thread performs exactly
   // this many operations instead of running for `seconds`.
   uint64_t ops_per_thread = 0;
+  // Per-operation options threaded to the store (sync WAL commits,
+  // snapshot-mode hints, stat suppression).
+  WriteOptions write_options;
+  ReadOptions read_options;
 };
 
 struct DriverResult {
   uint64_t ops = 0;
   uint64_t gets = 0;
-  uint64_t puts = 0;
+  uint64_t puts = 0;        // includes entries committed via batch ops
   uint64_t deletes = 0;
   uint64_t scans = 0;
+  uint64_t batch_commits = 0;  // KVStore::Write calls from kBatchPut ops
   uint64_t keys_accessed = 0;  // scans count scan_length keys (§5.2)
   double elapsed_seconds = 0;
 

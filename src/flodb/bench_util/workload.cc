@@ -14,14 +14,21 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec, int thread_id)
 
 OpType WorkloadGenerator::NextOp() {
   const double r = rng_.NextDouble();
-  if (r < spec_.get_fraction) {
+  double threshold = spec_.get_fraction;
+  if (r < threshold) {
     return OpType::kGet;
   }
-  if (r < spec_.get_fraction + spec_.put_fraction) {
+  threshold += spec_.put_fraction;
+  if (r < threshold) {
     return OpType::kPut;
   }
-  if (r < spec_.get_fraction + spec_.put_fraction + spec_.delete_fraction) {
+  threshold += spec_.delete_fraction;
+  if (r < threshold) {
     return OpType::kDelete;
+  }
+  threshold += spec_.batch_put_fraction;
+  if (r < threshold) {
+    return OpType::kBatchPut;
   }
   return OpType::kScan;
 }
@@ -72,11 +79,16 @@ uint64_t Permute(uint64_t i, uint64_t n) {
 
 Status LoadRandomOrder(KVStore* store, uint64_t count, uint64_t key_space, size_t value_bytes) {
   KeyBuf key_buf;
+  WriteBatch batch;
   for (uint64_t i = 0; i < count; ++i) {
     const uint64_t key = SpreadKey(Permute(i, key_space), key_space);
-    Status s = store->Put(key_buf.Set(key), ValueForKey(key, value_bytes));
-    if (!s.ok()) {
-      return s;
+    batch.Put(key_buf.Set(key), ValueForKey(key, value_bytes));
+    if (batch.Count() >= kLoadBatchEntries || i + 1 == count) {
+      Status s = store->Write(WriteOptions(), &batch);
+      if (!s.ok()) {
+        return s;
+      }
+      batch.Clear();
     }
   }
   return Status::OK();
@@ -84,11 +96,16 @@ Status LoadRandomOrder(KVStore* store, uint64_t count, uint64_t key_space, size_
 
 Status LoadSequential(KVStore* store, uint64_t count, size_t value_bytes) {
   KeyBuf key_buf;
+  WriteBatch batch;
   for (uint64_t i = 0; i < count; ++i) {
     const uint64_t key = SpreadKey(i, count);
-    Status s = store->Put(key_buf.Set(key), ValueForKey(key, value_bytes));
-    if (!s.ok()) {
-      return s;
+    batch.Put(key_buf.Set(key), ValueForKey(key, value_bytes));
+    if (batch.Count() >= kLoadBatchEntries || i + 1 == count) {
+      Status s = store->Write(WriteOptions(), &batch);
+      if (!s.ok()) {
+        return s;
+      }
+      batch.Clear();
     }
   }
   return Status::OK();

@@ -16,7 +16,7 @@
 
 namespace flodb::bench {
 
-enum class OpType { kGet, kPut, kDelete, kScan };
+enum class OpType { kGet, kPut, kDelete, kScan, kBatchPut };
 
 struct WorkloadSpec {
   // Operation mix; fractions must sum to ~1.
@@ -24,6 +24,10 @@ struct WorkloadSpec {
   double put_fraction = 0.0;
   double delete_fraction = 0.0;
   double scan_fraction = 0.0;
+  // Batched writes: each op commits `batch_entries` Puts of random keys
+  // through one KVStore::Write (group commit amortization).
+  double batch_put_fraction = 0.0;
+  size_t batch_entries = 64;
 
   uint64_t key_space = 100'000;
   size_t value_bytes = 64;   // paper: 256B values, 8B keys (scaled here)
@@ -71,11 +75,15 @@ inline uint64_t SpreadKey(uint64_t key, uint64_t key_space) {
 
 // Inserts `count` keys drawn as a pseudo-random permutation of
 // [0, key_space) — the paper's "inserted in random order" initialization.
+// Loads commit through WriteBatches of kLoadBatchEntries for amortized
+// ingestion; the resulting store state is identical to per-key Puts.
 Status LoadRandomOrder(KVStore* store, uint64_t count, uint64_t key_space, size_t value_bytes);
 
 // Inserts keys 0..count-1 in ascending order — the paper's sequential
 // initialization for the read-only experiment (optimal on-disk layout).
 Status LoadSequential(KVStore* store, uint64_t count, size_t value_bytes);
+
+inline constexpr size_t kLoadBatchEntries = 256;
 
 }  // namespace flodb::bench
 

@@ -1,6 +1,7 @@
-// FloDB user-facing operations: Open/close, Get, Put/Delete (Algorithm 2),
-// FlushAll and stats. Background machinery lives in flodb_background.cc;
-// the scan protocol in flodb_scan.cc.
+// FloDB user-facing operations: Open/close, Get, batch Write (Algorithm 2
+// generalized to WriteBatch group commit), FlushAll and stats. Background
+// machinery lives in flodb_background.cc; the scan protocol and the
+// streaming iterator in flodb_scan.cc.
 
 #include "flodb/core/flodb.h"
 
@@ -24,6 +25,13 @@ size_t ComputeMemtableTarget(const FloDbOptions& options) {
   auto target = static_cast<size_t>(static_cast<double>(options.memory_budget_bytes) * fraction);
   return target < kMinMemtableTarget ? kMinMemtableTarget : target;
 }
+
+// A batch entry decoded once per Write; slices point into the batch rep.
+struct BatchEntryRef {
+  Slice key;
+  Slice value;
+  ValueType type;
+};
 
 }  // namespace
 
@@ -101,44 +109,93 @@ FloDB::~FloDB() {
   delete imm_mtb_.load(std::memory_order_relaxed);
 }
 
-Status FloDB::Put(const Slice& key, const Slice& value) {
-  puts_.fetch_add(1, std::memory_order_relaxed);
-  return Update(key, value, ValueType::kValue);
-}
+Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
+  if (batch == nullptr) {
+    return Status::InvalidArgument("null write batch");
+  }
+  if (batch->Empty()) {
+    return Status::OK();
+  }
 
-Status FloDB::Delete(const Slice& key) {
-  deletes_.fetch_add(1, std::memory_order_relaxed);
-  return Update(key, Slice(), ValueType::kTombstone);
-}
+  // Decode once up front; every retry round below reuses the refs.
+  thread_local std::vector<BatchEntryRef> entries;
+  entries.clear();
+  uint64_t value_entries = 0;
+  Status s = batch->ForEach([&](const Slice& key, const Slice& value, ValueType type) {
+    entries.push_back(BatchEntryRef{key, value, type});
+    if (type == ValueType::kValue) {
+      ++value_entries;
+    }
+  });
+  if (!s.ok()) {
+    return s;
+  }
 
-Status FloDB::Update(const Slice& key, const Slice& value, ValueType type) {
+  // One WAL record for the whole batch — the group-commit amortization,
+  // and the unit of all-or-nothing crash recovery.
   if (options_.enable_wal) {
     std::lock_guard<std::mutex> lock(wal_mu_);
-    Status s = wal_->AddUpdate(key, value, type);
+    s = wal_->AddBatch(static_cast<uint32_t>(batch->Count()), Slice(batch->rep()));
+    if (s.ok() && options.sync) {
+      s = wal_->Sync();
+    }
     if (!s.ok()) {
       return s;
     }
+    if (options.fill_stats) {
+      // Gated like the other batch counters so the amortization ratio
+      // (batch_entries / wal_batch_records) stays coherent when a caller
+      // suppresses stats.
+      wal_batch_records_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
-  // Algorithm 2, Put. Every wait happens OUTSIDE the RCU read section so
-  // the background threads' grace periods always terminate.
+  if (options.fill_stats) {
+    batch_writes_.fetch_add(1, std::memory_order_relaxed);
+    batch_entries_.fetch_add(entries.size(), std::memory_order_relaxed);
+    puts_.fetch_add(value_entries, std::memory_order_relaxed);
+    deletes_.fetch_add(entries.size() - value_entries, std::memory_order_relaxed);
+  }
+
+  // Algorithm 2 (Put), generalized to a batch. Every wait happens OUTSIDE
+  // the RCU read section so the background threads' grace periods always
+  // terminate; each round runs a SINGLE read-side section covering the
+  // Membuffer pass and the Memtable multi-insert of whatever spilled.
+  thread_local std::vector<uint32_t> pending;
+  thread_local std::vector<uint32_t> spill;
+  thread_local std::vector<ConcurrentSkipList::BatchEntry> memtable_batch;
+  pending.resize(entries.size());
+  for (uint32_t i = 0; i < entries.size(); ++i) {
+    pending[i] = i;
+  }
+
   while (true) {
     rcu_.ReadLock();
 
+    spill.clear();
     if (options_.enable_membuffer) {
       MemBuffer* mbf = mbf_.load(std::memory_order_seq_cst);
-      if (mbf->Add(key, value, type) != MemBuffer::AddResult::kFull) {
-        membuffer_adds_.fetch_add(1, std::memory_order_relaxed);
-        rcu_.ReadUnlock();
-        return Status::OK();
+      for (uint32_t index : pending) {
+        const BatchEntryRef& e = entries[index];
+        if (mbf->Add(e.key, e.value, e.type) == MemBuffer::AddResult::kFull) {
+          spill.push_back(index);
+        }
       }
+      membuffer_adds_.fetch_add(pending.size() - spill.size(), std::memory_order_relaxed);
+    } else {
+      spill.assign(pending.begin(), pending.end());
     }
 
-    // Membuffer full (or disabled): the update must go to the Memtable.
+    if (spill.empty()) {
+      rcu_.ReadUnlock();
+      return Status::OK();
+    }
+
     if (pause_writers_.load(std::memory_order_seq_cst)) {
       rcu_.ReadUnlock();
       // A scan is draining the (old) Membuffer: help, or wait (Alg. 2
-      // lines 12-16).
+      // lines 12-16). Only the still-unapplied entries are retried.
+      pending.swap(spill);
       if (!HelpDrainImmMembuffer()) {
         std::this_thread::yield();
       }
@@ -150,14 +207,36 @@ Status FloDB::Update(const Slice& key, const Slice& value, ValueType type) {
       rcu_.ReadUnlock();
       // Wait for the persist thread to install a fresh Memtable (Alg. 2
       // lines 17-18) — "typically a very short wait".
+      pending.swap(spill);
       TriggerPersist();
       std::this_thread::yield();
       continue;
     }
 
-    const uint64_t seq = global_seq_.fetch_add(1, std::memory_order_acq_rel);
-    mtb->Add(key, value, seq, type);
-    memtable_direct_adds_.fetch_add(1, std::memory_order_relaxed);
+    // Commit the spilled remainder under ONE contiguous seq range,
+    // assigned in batch order so last-write-wins holds for duplicate
+    // keys inside the batch.
+    const uint64_t base = global_seq_.fetch_add(spill.size(), std::memory_order_acq_rel);
+    memtable_batch.clear();
+    for (size_t j = 0; j < spill.size(); ++j) {
+      const BatchEntryRef& e = entries[spill[j]];
+      memtable_batch.push_back(
+          ConcurrentSkipList::BatchEntry{e.key, e.value, e.type, base + j});
+    }
+    if (options_.use_multi_insert && memtable_batch.size() > 1) {
+      std::sort(memtable_batch.begin(), memtable_batch.end(),
+                [](const ConcurrentSkipList::BatchEntry& a,
+                   const ConcurrentSkipList::BatchEntry& b) {
+                  const int c = a.key.compare(b.key);
+                  return c != 0 ? c < 0 : a.seq < b.seq;
+                });
+      mtb->MultiAdd(memtable_batch);
+    } else {
+      for (const ConcurrentSkipList::BatchEntry& e : memtable_batch) {
+        mtb->Add(e.key, e.value, e.seq, e.type);
+      }
+    }
+    memtable_direct_adds_.fetch_add(memtable_batch.size(), std::memory_order_relaxed);
     const bool now_full = mtb->OverTarget();
     rcu_.ReadUnlock();
     if (now_full) {
@@ -167,8 +246,10 @@ Status FloDB::Update(const Slice& key, const Slice& value, ValueType type) {
   }
 }
 
-Status FloDB::Get(const Slice& key, std::string* value) {
-  gets_.fetch_add(1, std::memory_order_relaxed);
+Status FloDB::Get(const ReadOptions& options, const Slice& key, std::string* value) {
+  if (options.fill_stats) {
+    gets_.fetch_add(1, std::memory_order_relaxed);
+  }
   RcuReadGuard guard(rcu_);
 
   // Freshest-first order: MBF, IMM_MBF, MTB, IMM_MTB, DISK (Algorithm 2).
@@ -196,12 +277,6 @@ Status FloDB::Get(const Slice& key, std::string* value) {
     }
   }
   return Status::NotFound();
-}
-
-Status FloDB::Scan(const Slice& low_key, const Slice& high_key, size_t limit,
-                   std::vector<std::pair<std::string, std::string>>* out) {
-  scans_.fetch_add(1, std::memory_order_relaxed);
-  return ScanImpl(low_key, high_key, limit, out);
 }
 
 Status FloDB::FlushAll() {
@@ -271,6 +346,10 @@ StoreStats FloDB::GetStats() const {
   stats.gets = gets_.load(std::memory_order_relaxed);
   stats.deletes = deletes_.load(std::memory_order_relaxed);
   stats.scans = scans_.load(std::memory_order_relaxed);
+  stats.batch_writes = batch_writes_.load(std::memory_order_relaxed);
+  stats.batch_entries = batch_entries_.load(std::memory_order_relaxed);
+  stats.wal_batch_records = wal_batch_records_.load(std::memory_order_relaxed);
+  stats.iterator_scans = iterator_scans_.load(std::memory_order_relaxed);
   stats.membuffer_adds = membuffer_adds_.load(std::memory_order_relaxed);
   stats.memtable_direct_adds = memtable_direct_adds_.load(std::memory_order_relaxed);
   stats.drained_entries = drained_entries_.load(std::memory_order_relaxed);
@@ -278,7 +357,7 @@ StoreStats FloDB::GetStats() const {
   stats.fallback_scans = fallback_scans_.load(std::memory_order_relaxed);
   stats.master_scans = master_scans_.load(std::memory_order_relaxed);
   stats.piggyback_scans = piggyback_scans_.load(std::memory_order_relaxed);
-  stats.membuffer_rotations = rotations_.load(std::memory_order_relaxed);
+  stats.membuffer_rotations = membuffer_rotations_.load(std::memory_order_relaxed);
   if (disk_ != nullptr) {
     stats.disk = disk_->GetStats();
   }

@@ -1,12 +1,16 @@
 // FloDB: the paper's two-tier LSM memory component on top of the leveled
 // disk component.
 //
-//   Put/Delete  -> Membuffer (hash table); full bucket -> Memtable
+//   Write (batch) -> one WAL record, then one RCU read-side pass: every
+//                  entry tries the Membuffer (hash table); spilled
+//                  entries multi-insert into the Memtable under one
+//                  contiguous seq range. Put/Delete are one-entry batches.
 //   Get         -> MBF, IMM_MBF, MTB, IMM_MTB, DISK (freshest-first order)
 //   Scan        -> master/piggyback protocol: swap + fully drain the
 //                  Membuffer, take a scan seq, then iterate
 //                  MTB+IMM_MTB+DISK validating entry seqs; bounded
-//                  restarts, then fallbackScan.
+//                  restarts, then a fallback pass. NewScanIterator
+//                  streams the same protocol in bounded chunks.
 //   Draining    -> background threads move Membuffer entries into the
 //                  Memtable with skiplist multi-inserts.
 //   Persisting  -> background thread swaps a full Memtable via RCU and
@@ -19,9 +23,11 @@
 //
 // Consistency: master scans are linearizable with respect to updates;
 // piggybacking scans (and piggyback restarts) are serializable (paper
-// §4.4 "Correctness"). Get/Put/Delete are linearizable per key, with one
+// §4.4 "Correctness"); streaming iterators are serializable per chunk
+// (DESIGN.md §4). Get/Put/Delete are linearizable per key, with one
 // paper-inherited caveat on racing writers across a Memtable swap
-// documented in DESIGN.md.
+// documented in DESIGN.md §6. Batch commits are durability-atomic but
+// not isolation-atomic (DESIGN.md §2).
 
 #ifndef FLODB_CORE_FLODB_H_
 #define FLODB_CORE_FLODB_H_
@@ -43,6 +49,8 @@
 
 namespace flodb {
 
+class FloDBScanIterator;
+
 class FloDB final : public KVStore {
  public:
   // Opens (and recovers, if WAL/manifest data exists) a FloDB instance.
@@ -52,11 +60,17 @@ class FloDB final : public KVStore {
   FloDB(const FloDB&) = delete;
   FloDB& operator=(const FloDB&) = delete;
 
-  Status Put(const Slice& key, const Slice& value) override;
-  Status Delete(const Slice& key) override;
-  Status Get(const Slice& key, std::string* value) override;
-  Status Scan(const Slice& low_key, const Slice& high_key, size_t limit,
-              std::vector<std::pair<std::string, std::string>>* out) override;
+  // Default-options overloads from the base class stay visible next to
+  // the explicit-options overrides below.
+  using KVStore::Get;
+  using KVStore::Scan;
+
+  Status Write(const WriteOptions& options, WriteBatch* batch) override;
+  Status Get(const ReadOptions& options, const Slice& key, std::string* value) override;
+  Status Scan(const ReadOptions& options, const Slice& low_key, const Slice& high_key,
+              size_t limit, std::vector<std::pair<std::string, std::string>>* out) override;
+  std::unique_ptr<ScanIterator> NewScanIterator(const ReadOptions& options, const Slice& low_key,
+                                                const Slice& high_key) override;
   Status FlushAll() override;
   StoreStats GetStats() const override;
   std::string Name() const override { return "FloDB"; }
@@ -71,9 +85,9 @@ class FloDB final : public KVStore {
   void WaitUntilDrained();
 
  private:
-  explicit FloDB(const FloDbOptions& options);
+  friend class FloDBScanIterator;
 
-  Status Update(const Slice& key, const Slice& value, ValueType type);
+  explicit FloDB(const FloDbOptions& options);
 
   // ---- background machinery (flodb_background.cc) ----
   void StartBackgroundThreads();
@@ -85,21 +99,42 @@ class FloDB final : public KVStore {
   bool HelpDrainImmMembuffer();
   // Inserts a collected batch into the Memtable (sort + seq + multi-insert).
   void InsertBatch(std::vector<DrainedEntry>* batch);
-  // Swaps in a fresh Membuffer and fully drains the old one into the
-  // Memtable. Caller must hold master_mu_. Used by scans and rotations.
-  void RotateAndDrainMembufferLocked();
   void TriggerPersist();
 
   // ---- scan machinery (flodb_scan.cc) ----
-  Status ScanImpl(const Slice& low_key, const Slice& high_key, size_t limit,
-                  std::vector<std::pair<std::string, std::string>>* out);
-  Status FallbackScan(const Slice& low_key, const Slice& high_key, size_t limit,
+
+  // A scan's election result: its snapshot seq and whether it holds the
+  // master slot. Masters must EndScan to release the slot.
+  struct ScanTicket {
+    uint64_t seq = 0;
+    bool is_master = false;
+  };
+
+  // Master election / piggybacking / seq reuse (Algorithm 3 entry). For
+  // masters this performs the Membuffer swap + full drain and publishes
+  // the fresh seq for piggybackers.
+  ScanTicket BeginScan(SnapshotMode mode);
+  void EndScan(const ScanTicket& ticket);
+  // Swap + drain + fresh seq + publish — master setup, also used for a
+  // full master restart.
+  void EstablishMasterSeq(uint64_t* seq);
+  // A piggyback restart's fresh seq (no re-drain, §4.4).
+  uint64_t FreshScanSeq() {
+    return global_seq_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // One pass over MTB+IMM_MTB+DISK collecting up to `limit` live entries
+  // from `start` (exclusive when `exclusive_start`). Returns true on
+  // success, false if a seq violation demands a restart. `validate`
+  // disables seq checks for the fallback path.
+  bool ScanPass(const Slice& start, const Slice& high_key, size_t limit, uint64_t scan_seq,
+                bool validate, bool exclusive_start,
+                std::vector<std::pair<std::string, std::string>>* out);
+  // Liveness fallback: briefly freezes Memtable writers, then runs an
+  // unvalidated pass.
+  Status FallbackPass(const Slice& start, const Slice& high_key, size_t limit,
+                      bool exclusive_start,
                       std::vector<std::pair<std::string, std::string>>* out);
-  // One pass over MTB+IMM_MTB+DISK. Returns true on success, false if a
-  // seq violation demands a restart. `validate` disables seq checks for
-  // the fallback path.
-  bool ScanOnce(const Slice& low_key, const Slice& high_key, size_t limit, uint64_t scan_seq,
-                bool validate, std::vector<std::pair<std::string, std::string>>* out);
 
   MemBuffer* NewMembuffer() const;
 
@@ -170,11 +205,13 @@ class FloDB final : public KVStore {
 
   // Stats.
   mutable std::atomic<uint64_t> puts_{0}, gets_{0}, deletes_{0}, scans_{0};
+  mutable std::atomic<uint64_t> batch_writes_{0}, batch_entries_{0};
+  mutable std::atomic<uint64_t> wal_batch_records_{0}, iterator_scans_{0};
   mutable std::atomic<uint64_t> membuffer_adds_{0}, memtable_direct_adds_{0};
   mutable std::atomic<uint64_t> drained_entries_{0};
   mutable std::atomic<uint64_t> scan_restarts_{0}, fallback_scans_{0};
   mutable std::atomic<uint64_t> master_scans_{0}, piggyback_scans_{0};
-  mutable std::atomic<uint64_t> rotations_{0};
+  mutable std::atomic<uint64_t> membuffer_rotations_{0};
 };
 
 }  // namespace flodb

@@ -105,7 +105,7 @@ void FloDB::DrainLoop() {
         pause_writers_.store(false, std::memory_order_seq_cst);
         pause_draining_.store(false, std::memory_order_seq_cst);
         CleanupImmMembuffer(old);
-        rotations_.fetch_add(1, std::memory_order_relaxed);
+        membuffer_rotations_.fetch_add(1, std::memory_order_relaxed);
       }
       continue;
     }

@@ -1,4 +1,4 @@
-// FloDB scan protocol (Algorithm 3, §4.4).
+// FloDB scan protocol (Algorithm 3, §4.4) and the v2 streaming iterator.
 //
 // Master scan: pause draining and Memtable writers, swap in a fresh
 // Membuffer, fully drain the old one (writers help), take a scan sequence
@@ -6,7 +6,7 @@
 // iterate Memtable + immutable Memtable + disk validating per-entry
 // sequence numbers. An entry newer than the scan number means an in-place
 // update raced the scan: restart; after `scan_restart_threshold` restarts
-// fall back to a scan that briefly blocks Memtable writers (liveness).
+// fall back to a pass that briefly blocks Memtable writers (liveness).
 //
 // Piggybacking scan: a scan that begins while another scan runs reuses the
 // published sequence number (no re-drain); chains are bounded by
@@ -14,18 +14,32 @@
 // number without re-draining. Master scans are linearizable w.r.t.
 // updates (linearization point: the Membuffer pointer swap); piggybacked
 // scans are serializable.
+//
+// Streaming iterators (NewScanIterator) run the same protocol in bounded
+// chunks: the election happens once at open (honoring the snapshot_mode
+// hint), each fetch collects up to scan_chunk_size live entries resuming
+// just past the last emitted key, and a seq violation restarts only the
+// current chunk with a fresh seq — serializable per chunk, never moving
+// backwards in time (DESIGN.md §4). Iterators release the master slot as
+// soon as their seq is established so a long-lived stream never blocks
+// other scans. The legacy vector Scan is a single-chunk iterator, which
+// preserves its original semantics exactly (including the re-drain on
+// master restarts, possible only before anything was emitted).
 
 #include "flodb/core/flodb.h"
+
+#include <algorithm>
+
 #include "flodb/core/memtable_iterator.h"
 #include "flodb/disk/merging_iterator.h"
 
 namespace flodb {
 
-bool FloDB::ScanOnce(const Slice& low_key, const Slice& high_key, size_t limit,
-                     uint64_t scan_seq, bool validate,
+bool FloDB::ScanPass(const Slice& start, const Slice& high_key, size_t limit, uint64_t scan_seq,
+                     bool validate, bool exclusive_start,
                      std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
-  // The RCU section pins both Memtables for the whole iteration; the disk
+  // The RCU section pins both Memtables for the whole pass; the disk
   // iterator pins its own Version internally.
   RcuReadGuard guard(rcu_);
   std::vector<std::unique_ptr<Iterator>> children;
@@ -42,7 +56,13 @@ bool FloDB::ScanOnce(const Slice& low_key, const Slice& high_key, size_t limit,
 
   std::string last_key;
   bool has_last = false;
-  for (merged->Seek(low_key); merged->Valid(); merged->Next()) {
+  if (exclusive_start) {
+    // Seeding the dedup state with the resume key skips every remaining
+    // version of it.
+    last_key.assign(start.data(), start.size());
+    has_last = true;
+  }
+  for (merged->Seek(start); merged->Valid(); merged->Next()) {
     if (!high_key.empty() && merged->key().compare(high_key) >= 0) {
       break;
     }
@@ -67,7 +87,8 @@ bool FloDB::ScanOnce(const Slice& low_key, const Slice& high_key, size_t limit,
   return true;
 }
 
-Status FloDB::FallbackScan(const Slice& low_key, const Slice& high_key, size_t limit,
+Status FloDB::FallbackPass(const Slice& start, const Slice& high_key, size_t limit,
+                           bool exclusive_start,
                            std::vector<std::pair<std::string, std::string>>* out) {
   fallback_scans_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> master(master_mu_);
@@ -76,43 +97,64 @@ Status FloDB::FallbackScan(const Slice& low_key, const Slice& high_key, size_t l
   // In-flight Memtable writes complete; afterwards the Memtable is frozen
   // for the duration (writers park in the Membuffer or spin).
   rcu_.Synchronize();
-  const uint64_t seq = global_seq_.fetch_add(1, std::memory_order_acq_rel);
-  ScanOnce(low_key, high_key, limit, seq, /*validate=*/false, out);
+  const uint64_t seq = FreshScanSeq();
+  ScanPass(start, high_key, limit, seq, /*validate=*/false, exclusive_start, out);
   pause_writers_.store(false, std::memory_order_seq_cst);
   pause_draining_.store(false, std::memory_order_seq_cst);
   return Status::OK();
 }
 
-Status FloDB::ScanImpl(const Slice& low_key, const Slice& high_key, size_t limit,
-                       std::vector<std::pair<std::string, std::string>>* out) {
-  uint64_t scan_seq = 0;
-  bool is_master = false;
+void FloDB::EstablishMasterSeq(uint64_t* seq) {
+  {
+    std::lock_guard<std::mutex> master(master_mu_);
+    pause_draining_.store(true, std::memory_order_seq_cst);
+    pause_writers_.store(true, std::memory_order_seq_cst);
+    MemBuffer* old = SwapAndDrainMembufferLocked();
+    *seq = FreshScanSeq();
+    pause_writers_.store(false, std::memory_order_seq_cst);
+    pause_draining_.store(false, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(scan_mu_);
+      published_seq_ = *seq;
+      published_valid_ = true;
+      chain_len_ = 0;
+      reuse_count_ = 0;
+    }
+    scan_cv_.notify_all();
+    CleanupImmMembuffer(old);
+  }
+}
 
-  // Master election / piggybacking / master seq reuse.
+FloDB::ScanTicket FloDB::BeginScan(SnapshotMode mode) {
+  ScanTicket ticket;
   {
     std::unique_lock<std::mutex> lock(scan_mu_);
     while (true) {
-      // Piggyback: another scan is running and its chain has budget.
-      if (published_valid_ && running_scans_ > 0 &&
-          chain_len_ < options_.scan_piggyback_chain_limit) {
-        scan_seq = published_seq_;
-        ++chain_len_;
-        ++running_scans_;
-        piggyback_scans_.fetch_add(1, std::memory_order_relaxed);
-        break;
-      }
-      // Low-concurrency reuse (§4.4 optimization): no scan running, but a
-      // recent master seq with remaining budget — skip the full drain.
-      if (published_valid_ && reuse_count_ < options_.scan_master_reuse_limit) {
-        scan_seq = published_seq_;
-        ++reuse_count_;
-        ++running_scans_;
-        piggyback_scans_.fetch_add(1, std::memory_order_relaxed);
-        break;
+      if (mode != SnapshotMode::kMaster && published_valid_) {
+        // Piggyback: another scan is running and its chain has budget.
+        if (running_scans_ > 0 && chain_len_ < options_.scan_piggyback_chain_limit) {
+          ticket.seq = published_seq_;
+          ++chain_len_;
+          ++running_scans_;
+          piggyback_scans_.fetch_add(1, std::memory_order_relaxed);
+          return ticket;
+        }
+        // Low-concurrency reuse (§4.4 optimization): no scan running, but
+        // a recent master seq with remaining budget — skip the full
+        // drain. The kPiggyback hint accepts the (serializable) reused
+        // seq unconditionally.
+        if (reuse_count_ < options_.scan_master_reuse_limit ||
+            mode == SnapshotMode::kPiggyback) {
+          ticket.seq = published_seq_;
+          ++reuse_count_;
+          ++running_scans_;
+          piggyback_scans_.fetch_add(1, std::memory_order_relaxed);
+          return ticket;
+        }
       }
       if (!master_busy_) {
         master_busy_ = true;
-        is_master = true;
+        ticket.is_master = true;
         ++running_scans_;
         master_scans_.fetch_add(1, std::memory_order_relaxed);
         break;
@@ -120,53 +162,15 @@ Status FloDB::ScanImpl(const Slice& low_key, const Slice& high_key, size_t limit
       scan_cv_.wait(lock);
     }
   }
+  EstablishMasterSeq(&ticket.seq);
+  return ticket;
+}
 
-  auto master_setup = [&] {
-    std::lock_guard<std::mutex> master(master_mu_);
-    pause_draining_.store(true, std::memory_order_seq_cst);
-    pause_writers_.store(true, std::memory_order_seq_cst);
-    MemBuffer* old = SwapAndDrainMembufferLocked();
-    scan_seq = global_seq_.fetch_add(1, std::memory_order_acq_rel);
-    pause_writers_.store(false, std::memory_order_seq_cst);
-    pause_draining_.store(false, std::memory_order_seq_cst);
-    {
-      std::lock_guard<std::mutex> lock(scan_mu_);
-      published_seq_ = scan_seq;
-      published_valid_ = true;
-      chain_len_ = 0;
-      reuse_count_ = 0;
-    }
-    scan_cv_.notify_all();
-    CleanupImmMembuffer(old);
-  };
-
-  if (is_master) {
-    master_setup();
-  }
-
-  Status result;
-  int restarts = 0;
-  while (true) {
-    if (ScanOnce(low_key, high_key, limit, scan_seq, /*validate=*/true, out)) {
-      break;
-    }
-    scan_restarts_.fetch_add(1, std::memory_order_relaxed);
-    if (++restarts >= options_.scan_restart_threshold) {
-      result = FallbackScan(low_key, high_key, limit, out);
-      break;
-    }
-    if (is_master) {
-      master_setup();  // full restart: re-drain and take a fresh seq
-    } else {
-      // Piggyback restart: fresh seq, no re-drain (§4.4).
-      scan_seq = global_seq_.fetch_add(1, std::memory_order_acq_rel);
-    }
-  }
-
+void FloDB::EndScan(const ScanTicket& ticket) {
   {
     std::lock_guard<std::mutex> lock(scan_mu_);
     --running_scans_;
-    if (is_master) {
+    if (ticket.is_master) {
       master_busy_ = false;
     }
     if (running_scans_ == 0 && options_.scan_master_reuse_limit == 0) {
@@ -176,7 +180,140 @@ Status FloDB::ScanImpl(const Slice& low_key, const Slice& high_key, size_t limit
     }
   }
   scan_cv_.notify_all();
-  return result;
+}
+
+// The streaming cursor over the master/piggyback machinery. One election
+// at construction; each FetchChunk is one validated pass resuming after
+// the last emitted key. `hold_ticket` keeps the election slot for the
+// cursor's lifetime — used by the legacy single-chunk Scan so concurrent
+// vector scans still piggyback on each other exactly as before.
+class FloDBScanIterator final : public ScanIterator {
+ public:
+  FloDBScanIterator(FloDB* db, const ReadOptions& options, const Slice& low_key,
+                    const Slice& high_key, size_t chunk_capacity, bool hold_ticket)
+      : db_(db),
+        low_(low_key.ToString()),
+        high_(high_key.ToString()),
+        chunk_capacity_(chunk_capacity),
+        ticket_(db->BeginScan(options.snapshot_mode)),
+        holding_(hold_ticket) {
+    if (!hold_ticket) {
+      // Streaming iterators release the election slot once their seq is
+      // established, so a long-lived cursor never blocks other scans;
+      // restarts then always take the piggyback form.
+      db_->EndScan(ticket_);
+    }
+    FetchChunk();
+  }
+
+  ~FloDBScanIterator() override {
+    if (holding_) {
+      db_->EndScan(ticket_);
+    }
+  }
+
+  FloDBScanIterator(const FloDBScanIterator&) = delete;
+  FloDBScanIterator& operator=(const FloDBScanIterator&) = delete;
+
+  bool Valid() const override { return pos_ < chunk_.size(); }
+
+  void Next() override {
+    ++pos_;
+    if (pos_ >= chunk_.size() && !finished_) {
+      FetchChunk();
+    }
+  }
+
+  Slice key() const override { return Slice(chunk_[pos_].first); }
+  Slice value() const override { return Slice(chunk_[pos_].second); }
+  Status status() const override { return status_; }
+  size_t MaxBufferedEntries() const override { return max_buffered_; }
+
+  // Legacy Scan support: hands the (single) buffered chunk to the caller.
+  void TakeChunk(std::vector<std::pair<std::string, std::string>>* out) {
+    out->swap(chunk_);
+    chunk_.clear();
+    pos_ = 0;
+    finished_ = true;
+  }
+
+ private:
+  void FetchChunk() {
+    chunk_.clear();
+    pos_ = 0;
+    const Slice start = has_resume_ ? Slice(resume_key_) : Slice(low_);
+    int restarts = 0;
+    while (true) {
+      if (db_->ScanPass(start, Slice(high_), chunk_capacity_, ticket_.seq, /*validate=*/true,
+                        has_resume_, &chunk_)) {
+        break;
+      }
+      db_->scan_restarts_.fetch_add(1, std::memory_order_relaxed);
+      if (++restarts >= db_->options_.scan_restart_threshold) {
+        status_ = db_->FallbackPass(start, Slice(high_), chunk_capacity_, has_resume_, &chunk_);
+        break;
+      }
+      if (holding_ && ticket_.is_master && !emitted_any_) {
+        // Nothing handed out yet: a full master restart (re-drain + fresh
+        // seq) re-establishes linearizability — the legacy behavior.
+        db_->EstablishMasterSeq(&ticket_.seq);
+      } else {
+        // Piggyback restart: fresh seq, no re-drain (§4.4). The snapshot
+        // advances for the remaining range only.
+        ticket_.seq = db_->FreshScanSeq();
+      }
+    }
+    max_buffered_ = std::max(max_buffered_, chunk_.size());
+    if (chunk_capacity_ == 0 || chunk_.size() < chunk_capacity_) {
+      finished_ = true;  // range exhausted (or whole-range mode)
+    }
+    if (!chunk_.empty()) {
+      emitted_any_ = true;
+      resume_key_ = chunk_.back().first;
+      has_resume_ = true;
+    }
+  }
+
+  FloDB* const db_;
+  const std::string low_;
+  const std::string high_;
+  const size_t chunk_capacity_;  // 0 = whole range in one chunk
+
+  FloDB::ScanTicket ticket_;
+  const bool holding_;
+
+  std::vector<std::pair<std::string, std::string>> chunk_;
+  size_t pos_ = 0;
+  std::string resume_key_;
+  bool has_resume_ = false;
+  bool emitted_any_ = false;
+  bool finished_ = false;
+  size_t max_buffered_ = 0;
+  Status status_;
+};
+
+Status FloDB::Scan(const ReadOptions& options, const Slice& low_key, const Slice& high_key,
+                   size_t limit, std::vector<std::pair<std::string, std::string>>* out) {
+  if (options.fill_stats) {
+    scans_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // A single-chunk iterator sized by `limit` (0 = whole range): the whole
+  // result comes from one validated pass, so the original restart and
+  // piggyback semantics are preserved verbatim.
+  FloDBScanIterator iter(this, options, low_key, high_key, /*chunk_capacity=*/limit,
+                         /*hold_ticket=*/true);
+  iter.TakeChunk(out);
+  return iter.status();
+}
+
+std::unique_ptr<ScanIterator> FloDB::NewScanIterator(const ReadOptions& options,
+                                                     const Slice& low_key,
+                                                     const Slice& high_key) {
+  if (options.fill_stats) {
+    iterator_scans_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::make_unique<FloDBScanIterator>(this, options, low_key, high_key,
+                                             options.scan_chunk_size, /*hold_ticket=*/false);
 }
 
 }  // namespace flodb

@@ -1,0 +1,123 @@
+// KVStore convenience layer: one-entry-batch Put/Delete wrappers and the
+// generic chunked ScanIterator that any implementation inherits.
+
+#include "flodb/core/kv_store.h"
+
+#include <algorithm>
+
+namespace flodb {
+
+namespace {
+
+// Streams a range by fetching bounded chunks through the store's
+// materializing Scan. Each fetch resumes AT the last returned key
+// (inclusive, asking for one extra entry) and drops the overlap — an
+// exclusive-bound emulation that works for any key encoding, unlike the
+// successor-key trick (k + '\0'), which trips stores whose internal-key
+// comparison appends suffixes to variable-length user keys. Each chunk is
+// its own snapshot, taken at fetch time — serializable per chunk, never
+// moving backwards (DESIGN.md §4).
+class ChunkedScanIterator final : public ScanIterator {
+ public:
+  ChunkedScanIterator(KVStore* store, const ReadOptions& options, const Slice& low_key,
+                      const Slice& high_key)
+      : store_(store),
+        options_(options),
+        high_(high_key.ToString()),
+        low_(low_key.ToString()),
+        chunk_capacity_(options.scan_chunk_size) {
+    // Inner fetches are bookkeeping reads; the iterator itself was the
+    // user-visible operation.
+    options_.fill_stats = false;
+    Fetch();
+  }
+
+  bool Valid() const override { return pos_ < chunk_.size(); }
+
+  void Next() override {
+    ++pos_;
+    if (pos_ >= chunk_.size() && !done_) {
+      Fetch();
+    }
+  }
+
+  Slice key() const override { return Slice(chunk_[pos_].first); }
+  Slice value() const override { return Slice(chunk_[pos_].second); }
+  Status status() const override { return status_; }
+  size_t MaxBufferedEntries() const override { return max_buffered_; }
+
+ private:
+  void Fetch() {
+    chunk_.clear();
+    pos_ = 0;
+    if (done_) {
+      return;
+    }
+    // +1 entry when resuming: the inclusive low bound re-fetches the last
+    // emitted key (unless it was deleted meanwhile), which we drop below.
+    const size_t want =
+        chunk_capacity_ == 0 ? 0 : chunk_capacity_ + (has_resume_ ? 1 : 0);
+    status_ = store_->Scan(options_, Slice(has_resume_ ? resume_key_ : low_), Slice(high_),
+                           want, &chunk_);
+    if (!status_.ok()) {
+      chunk_.clear();
+      done_ = true;
+      return;
+    }
+    max_buffered_ = std::max(max_buffered_, chunk_.size());
+    if (has_resume_ && !chunk_.empty() && chunk_.front().first == resume_key_) {
+      chunk_.erase(chunk_.begin());
+    }
+    if (chunk_capacity_ == 0) {
+      done_ = true;  // whole-range mode: one materializing fetch
+    } else if (chunk_.size() > chunk_capacity_) {
+      chunk_.resize(chunk_capacity_);  // resume key was deleted: trim the extra
+    } else if (chunk_.size() < chunk_capacity_) {
+      done_ = true;  // range exhausted
+    }
+    if (!chunk_.empty()) {
+      resume_key_ = chunk_.back().first;
+      has_resume_ = true;
+    }
+  }
+
+  KVStore* const store_;
+  ReadOptions options_;
+  const std::string high_;
+  const std::string low_;
+  std::string resume_key_;
+  bool has_resume_ = false;
+  const size_t chunk_capacity_;
+
+  std::vector<std::pair<std::string, std::string>> chunk_;
+  size_t pos_ = 0;
+  size_t max_buffered_ = 0;
+  bool done_ = false;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<ScanIterator> KVStore::NewScanIterator(const ReadOptions& options,
+                                                       const Slice& low_key,
+                                                       const Slice& high_key) {
+  return std::make_unique<ChunkedScanIterator>(this, options, low_key, high_key);
+}
+
+Status KVStore::Put(const WriteOptions& options, const Slice& key, const Slice& value) {
+  // Reused per thread so the hot single-put path stays allocation-free
+  // after warm-up.
+  thread_local WriteBatch batch;
+  batch.Clear();
+  batch.Put(key, value);
+  return Write(options, &batch);
+}
+
+Status KVStore::Delete(const WriteOptions& options, const Slice& key) {
+  thread_local WriteBatch batch;
+  batch.Clear();
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+}  // namespace flodb

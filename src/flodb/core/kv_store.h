@@ -2,19 +2,33 @@
 // baseline stores (LevelDB-like, HyperLevelDB-like, RocksDB-like), so the
 // benchmark harness drives them interchangeably.
 //
-// Operations mirror the paper (§2.1): Put, Get, Remove (Delete), and
-// serializable range Scans.
+// v2 surface (see DESIGN.md §2/§4 for the exact guarantees):
+//
+//   Write(WriteOptions, WriteBatch*)   — commits a batch of Put/Delete
+//       records as one unit: one WAL record, one contiguous sequence
+//       range, one pass through the memory component. Put/Delete are thin
+//       one-entry-batch wrappers over it.
+//   Get(ReadOptions, key, value)       — point lookup.
+//   NewScanIterator(ReadOptions, l, h) — pull-based range scan that
+//       streams results in bounded chunks instead of materializing the
+//       whole range; ReadOptions::snapshot_mode hints the snapshot
+//       protocol (FloDB: master vs. piggyback, paper §4.4).
+//   Scan(ReadOptions, l, h, limit, out) — the legacy materializing scan,
+//       kept as a convenience; implementations may build either entry
+//       point on top of the other.
 
 #ifndef FLODB_CORE_KV_STORE_H_
 #define FLODB_CORE_KV_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "flodb/common/slice.h"
 #include "flodb/common/status.h"
+#include "flodb/core/write_batch.h"
 #include "flodb/disk/disk_component.h"
 
 namespace flodb {
@@ -24,6 +38,13 @@ struct StoreStats {
   uint64_t gets = 0;
   uint64_t deletes = 0;
   uint64_t scans = 0;
+
+  // Batch ingestion (group commit amortization = batch_entries /
+  // batch_writes; one-entry Put/Delete wrappers count as batches of 1).
+  uint64_t batch_writes = 0;      // Write() commits
+  uint64_t batch_entries = 0;     // entries across those commits
+  uint64_t wal_batch_records = 0; // WAL batch records appended
+  uint64_t iterator_scans = 0;    // streaming iterators opened
 
   // FloDB-specific (zero for baselines).
   uint64_t membuffer_adds = 0;      // updates completed in the Membuffer
@@ -38,21 +59,108 @@ struct StoreStats {
   DiskComponent::Stats disk;
 };
 
+// Snapshot protocol hint for scans (FloDB honors it; baselines, whose
+// multi-versioned scans are always snapshot reads, ignore it).
+enum class SnapshotMode : uint8_t {
+  kAuto,       // store picks: piggyback on a running scan, else master
+  kMaster,     // force a fresh master snapshot (linearizable, pays the
+               // Membuffer swap + full drain)
+  kPiggyback,  // reuse any published snapshot seq (serializable, cheap);
+               // falls back to master when none is available
+};
+
+struct ReadOptions {
+  SnapshotMode snapshot_mode = SnapshotMode::kAuto;
+
+  // Update the store's per-operation counters. Turn off for internal or
+  // bookkeeping reads that would skew benchmark stats.
+  bool fill_stats = true;
+
+  // Entries a ScanIterator buffers per fetch. The iterator's memory use
+  // is bounded by this regardless of range size (the generic chunked
+  // iterator fetches one extra entry per resume as exclusive-bound
+  // overlap, so its bound is chunk_size + 1). 0 = materialize the whole
+  // range in one chunk (legacy Scan behavior).
+  size_t scan_chunk_size = 1024;
+};
+
+struct WriteOptions {
+  // Fsync the WAL before Write returns (group commit makes this
+  // affordable: one fsync covers the whole batch). No-op for stores
+  // without a WAL.
+  bool sync = false;
+
+  // Update the store's per-operation counters.
+  bool fill_stats = true;
+};
+
+// Pull-based scan cursor. Usage:
+//
+//   auto it = store->NewScanIterator(opts, low, high);
+//   for (; it->Valid(); it->Next()) use(it->key(), it->value());
+//   if (!it->status().ok()) ...
+//
+// The iterator must not outlive the store. Results arrive in strictly
+// ascending key order with tombstones elided; each buffered chunk is
+// internally consistent, and consecutive chunks never move backwards in
+// time (see DESIGN.md §4 for the exact snapshot guarantee).
+class ScanIterator {
+ public:
+  virtual ~ScanIterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void Next() = 0;
+
+  // REQUIRES Valid(). Slices are valid until the next Next() call.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  // Non-OK when the stream terminated on an error (iteration ends early).
+  virtual Status status() const = 0;
+
+  // Largest number of entries this iterator ever held in memory at once —
+  // the observable "streams without materializing" bound.
+  virtual size_t MaxBufferedEntries() const = 0;
+};
+
 class KVStore {
  public:
   virtual ~KVStore() = default;
 
-  virtual Status Put(const Slice& key, const Slice& value) = 0;
-  virtual Status Delete(const Slice& key) = 0;
+  // ---- v2 core surface ----
+
+  // Commits `batch` (left intact, so callers may retry or reuse it).
+  // Entries apply in batch order; last write wins for duplicate keys.
+  virtual Status Write(const WriteOptions& options, WriteBatch* batch) = 0;
 
   // On hit fills *value and returns OK; NotFound for absent or deleted keys.
-  virtual Status Get(const Slice& key, std::string* value) = 0;
+  virtual Status Get(const ReadOptions& options, const Slice& key, std::string* value) = 0;
 
   // Returns up to `limit` live entries with low_key <= key < high_key in
   // key order (limit 0 = unbounded; empty high_key = unbounded above).
-  // Point-in-time semantics: see each implementation's notes.
-  virtual Status Scan(const Slice& low_key, const Slice& high_key, size_t limit,
+  virtual Status Scan(const ReadOptions& options, const Slice& low_key, const Slice& high_key,
+                      size_t limit,
                       std::vector<std::pair<std::string, std::string>>* out) = 0;
+
+  // Streams [low_key, high_key) without materializing it. The default
+  // implementation fetches bounded chunks through Scan(), resuming after
+  // the last returned key; FloDB overrides it with a native iterator on
+  // the master/piggyback machinery.
+  virtual std::unique_ptr<ScanIterator> NewScanIterator(const ReadOptions& options,
+                                                        const Slice& low_key,
+                                                        const Slice& high_key);
+
+  // ---- convenience wrappers (thin one-entry batches / default options) ----
+
+  Status Put(const Slice& key, const Slice& value) { return Put(WriteOptions(), key, value); }
+  Status Put(const WriteOptions& options, const Slice& key, const Slice& value);
+  Status Delete(const Slice& key) { return Delete(WriteOptions(), key); }
+  Status Delete(const WriteOptions& options, const Slice& key);
+  Status Get(const Slice& key, std::string* value) { return Get(ReadOptions(), key, value); }
+  Status Scan(const Slice& low_key, const Slice& high_key, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out) {
+    return Scan(ReadOptions(), low_key, high_key, limit, out);
+  }
 
   // Pushes all in-memory data to the disk component (if any) and waits for
   // background work to settle. Test/benchmark aid.

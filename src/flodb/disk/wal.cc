@@ -1,6 +1,7 @@
 #include "flodb/disk/wal.h"
 
 #include "flodb/common/coding.h"
+#include "flodb/core/write_batch.h"
 #include "flodb/disk/crc32c.h"
 
 namespace flodb {
@@ -19,6 +20,15 @@ Status WalWriter::AddUpdate(const Slice& key, const Slice& value, ValueType type
   payload.push_back(static_cast<char>(type));
   PutLengthPrefixedSlice(&payload, key);
   PutLengthPrefixedSlice(&payload, value);
+  return AddRecord(payload);
+}
+
+Status WalWriter::AddBatch(uint32_t count, const Slice& entries) {
+  std::string payload;
+  payload.reserve(entries.size() + 1 + kMaxVarint32Bytes);
+  payload.push_back(static_cast<char>(kWalBatchRecordTag));
+  PutVarint32(&payload, count);
+  payload.append(entries.data(), entries.size());
   return AddRecord(payload);
 }
 
@@ -60,13 +70,25 @@ Status WalReader::ReplayUpdates(
     if (in.empty()) {
       return Status::Corruption("empty WAL record");
     }
-    const ValueType type = static_cast<ValueType>(in[0]);
-    in.remove_prefix(1);
-    Slice key, value;
-    if (!GetLengthPrefixedSlice(&in, &key) || !GetLengthPrefixedSlice(&in, &value)) {
-      return Status::Corruption("malformed WAL update record");
+    // One decoder for both record kinds: a batch body is exactly
+    // WriteBatch::rep(), and a legacy single-update record is exactly a
+    // one-entry rep.
+    if (static_cast<uint8_t>(in[0]) == kWalBatchRecordTag) {
+      in.remove_prefix(1);
+      uint32_t count = 0;
+      if (!GetVarint32(&in, &count)) {
+        return Status::Corruption("malformed WAL batch header");
+      }
+      Status s = WriteBatch::IterateRep(in, count, fn);
+      if (!s.ok()) {
+        return Status::Corruption("malformed WAL batch record");
+      }
+    } else {
+      Status s = WriteBatch::IterateRep(in, 1, fn);
+      if (!s.ok()) {
+        return Status::Corruption("malformed WAL update record");
+      }
     }
-    fn(key, value, type);
   }
   return status_;
 }

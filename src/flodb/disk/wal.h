@@ -4,10 +4,19 @@
 // being applied to the in-memory component").
 //
 // Record framing: fixed32 masked_crc | fixed32 length | payload.
-// Payload (one record per logical write):
-//   uint8 type | varint32 klen | key | varint32 vlen | value
-// The reader stops cleanly at a truncated/corrupt tail (normal crash
-// outcome) and reports genuine mid-log corruption as an error.
+// Two payload kinds, distinguished by the first byte:
+//
+//   legacy single update (tag == ValueType, 0 or 1):
+//     uint8 type | varint32 klen | key | varint32 vlen | value
+//
+//   batch record (tag == kWalBatchRecordTag), one per KVStore::Write —
+//   the group-commit unit; its body is exactly WriteBatch::rep():
+//     uint8 2 | varint32 count | count × (uint8 type | klen | key | vlen | value)
+//
+// Because the CRC covers the whole payload, a batch is durability-atomic:
+// recovery replays it entirely or not at all. The reader stops cleanly at
+// a truncated/corrupt tail (normal crash outcome) and reports genuine
+// mid-log corruption as an error.
 
 #ifndef FLODB_DISK_WAL_H_
 #define FLODB_DISK_WAL_H_
@@ -23,6 +32,10 @@
 
 namespace flodb {
 
+// First payload byte of a batch record. Legacy single-update records
+// start with the ValueType byte (0 or 1), so 2 is unambiguous.
+inline constexpr uint8_t kWalBatchRecordTag = 2;
+
 class WalWriter {
  public:
   // Takes ownership of the file.
@@ -31,8 +44,12 @@ class WalWriter {
   // Appends one framed record; thread-compatible (callers serialize).
   Status AddRecord(const Slice& payload);
 
-  // Appends a key/value update record.
+  // Appends a legacy single key/value update record.
   Status AddUpdate(const Slice& key, const Slice& value, ValueType type);
+
+  // Appends ONE framed batch record holding `count` updates encoded as in
+  // WriteBatch::rep() — the whole batch commits or recovers as a unit.
+  Status AddBatch(uint32_t count, const Slice& entries);
 
   Status Sync() { return file_->Sync(); }
   Status Close() { return file_->Close(); }
@@ -54,7 +71,9 @@ class WalReader {
   // tail, which is expected after a crash).
   Status status() const { return status_; }
 
-  // Replays every well-formed update record through fn.
+  // Replays every well-formed update through fn, expanding batch records
+  // in order. A truncated tail record is dropped whole — a half-written
+  // batch never partially replays.
   Status ReplayUpdates(
       const std::function<void(const Slice& key, const Slice& value, ValueType type)>& fn);
 

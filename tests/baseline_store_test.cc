@@ -210,6 +210,32 @@ TEST_P(BaselineStoreTest, ScansDuringWritesAreSnapshots) {
   writer.join();
 }
 
+TEST_P(BaselineStoreTest, ChunkedIteratorMatchesScan) {
+  Open();
+  for (uint64_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(store_->Put(Slice(K(i)), Slice("v" + std::to_string(i))).ok());
+  }
+  for (uint64_t i = 0; i < 400; i += 5) {
+    ASSERT_TRUE(store_->Delete(Slice(K(i))).ok());
+  }
+
+  std::vector<std::pair<std::string, std::string>> expected;
+  ASSERT_TRUE(store_->Scan(Slice(), Slice(), 0, &expected).ok());
+
+  ReadOptions ropts;
+  ropts.scan_chunk_size = 32;  // force many resume boundaries
+  auto it = store_->NewScanIterator(ropts, Slice(), Slice());
+  std::vector<std::pair<std::string, std::string>> streamed;
+  for (; it->Valid(); it->Next()) {
+    streamed.emplace_back(it->key().ToString(), it->value().ToString());
+  }
+  ASSERT_TRUE(it->status().ok());
+  // chunk size + the one-entry resume overlap of the generic iterator
+  EXPECT_LE(it->MaxBufferedEntries(), 33u);
+  EXPECT_EQ(streamed, expected);
+  EXPECT_EQ(store_->GetStats().iterator_scans, 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllDesigns, BaselineStoreTest,
     ::testing::Values(

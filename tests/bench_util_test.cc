@@ -150,6 +150,35 @@ TEST(DriverTest, RunsWorkloadAndCounts) {
   EXPECT_GT(result.write_p50, 0u);
 }
 
+TEST(DriverTest, BatchPutMixCommitsGroups) {
+  MemEnv env;
+  FloDbOptions options;
+  options.memory_budget_bytes = 1 << 20;
+  options.disk.env = &env;
+  options.disk.path = "/db";
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(options, &db).ok());
+
+  WorkloadSpec spec;
+  spec.batch_put_fraction = 1.0;
+  spec.batch_entries = 16;
+  spec.key_space = 10'000;
+  spec.value_bytes = 32;
+
+  DriverOptions driver;
+  driver.threads = 2;
+  driver.ops_per_thread = 50;  // burst mode: exactly 100 batch commits
+
+  const DriverResult result = RunWorkload(db.get(), spec, driver);
+  EXPECT_EQ(result.batch_commits, 100u);
+  EXPECT_EQ(result.puts, 100u * 16u);
+  const StoreStats stats = db->GetStats();
+  EXPECT_EQ(stats.batch_writes, 100u);
+  EXPECT_EQ(stats.batch_entries, 100u * 16u);
+  // Group-commit amortization is observable from the stats alone.
+  EXPECT_EQ(stats.batch_entries / stats.batch_writes, 16u);
+}
+
 TEST(DriverTest, TwoRoleAssignsWriterThread) {
   MemEnv env;
   FloDbOptions options;

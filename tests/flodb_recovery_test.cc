@@ -162,6 +162,124 @@ TEST(FloDBRecoveryTest, OldWalFilesAreGarbageCollected) {
   EXPECT_LE(wal_files, 2) << "retired WALs must be deleted after their memtable persists";
 }
 
+TEST(FloDBRecoveryTest, BatchReplaysAtomicallyAcrossCrash) {
+  // A WriteBatch is one CRC-framed WAL record: chopping the log anywhere
+  // inside that record must drop the WHOLE batch on recovery, while every
+  // earlier record stays intact. Each cut point replays the identical
+  // write sequence into a fresh env, then truncates the live WAL.
+  //
+  // The batch record's physical size: 8-byte frame header + 1 tag byte +
+  // 1 varint count byte (50 < 128) + rep bytes.
+  WriteBatch reference;
+  for (uint64_t i = 0; i < 50; ++i) {
+    reference.Put(Slice(K(1000 + i)), Slice("batched"));
+  }
+  const size_t batch_record_bytes = 8 + 1 + 1 + reference.rep().size();
+
+  // Cut 0 bytes (control), 1 byte (CRC framing kills the record), half
+  // the record, and all but one byte of it.
+  for (const size_t cut : {size_t{0}, size_t{1}, batch_record_bytes / 2,
+                           batch_record_bytes - 1}) {
+    MemEnv env;
+    {
+      std::unique_ptr<FloDB> db;
+      ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok());
+      for (uint64_t i = 0; i < 10; ++i) {
+        ASSERT_TRUE(db->Put(Slice(K(i)), Slice("pre")).ok());
+      }
+      WriteBatch batch;
+      for (uint64_t i = 0; i < 50; ++i) {
+        batch.Put(Slice(K(1000 + i)), Slice("batched"));
+      }
+      ASSERT_TRUE(db->Write(WriteOptions(), &batch).ok());
+      // "Crash": destroy without FlushAll; the WAL survives in env.
+    }
+    std::vector<std::string> children;
+    ASSERT_TRUE(env.GetChildren("/db", &children).ok());
+    for (const std::string& name : children) {
+      if (name.rfind("wal-", 0) == 0 && cut > 0) {
+        std::string data;
+        ASSERT_TRUE(ReadFileToString(&env, "/db/" + name, &data).ok());
+        ASSERT_GT(data.size(), cut);
+        data.resize(data.size() - cut);
+        ASSERT_TRUE(WriteStringToFile(&env, Slice(data), "/db/" + name, false).ok());
+      }
+    }
+
+    std::unique_ptr<FloDB> db;
+    ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok()) << "cut=" << cut;
+    std::string value;
+    // Every pre-batch single write must always survive.
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(db->Get(Slice(K(i)), &value).ok()) << "cut=" << cut << " key=" << i;
+      EXPECT_EQ(value, "pre");
+    }
+    // The batch is all-or-nothing: complete when untouched, absent
+    // entirely for any cut inside its record.
+    size_t batch_hits = 0;
+    for (uint64_t i = 0; i < 50; ++i) {
+      if (db->Get(Slice(K(1000 + i)), &value).ok()) {
+        ++batch_hits;
+      }
+    }
+    EXPECT_EQ(batch_hits, cut == 0 ? 50u : 0u)
+        << "cut=" << cut << ": a torn batch record must never partially replay";
+  }
+}
+
+TEST(FloDBRecoveryTest, MixedLegacyAndBatchRecordsReplayInOrder) {
+  // Logs written before the batch record type existed (single-update
+  // records) must still recover, interleaved with batch records in log
+  // order — last write wins across record kinds.
+  MemEnv env;
+  env.CreateDir("/db");
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env.NewWritableFile("/db/wal-000001.log", &file).ok());
+    WalWriter writer(std::move(file));
+    ASSERT_TRUE(writer.AddUpdate(Slice(K(1)), Slice("legacy"), ValueType::kValue).ok());
+    WriteBatch batch;
+    batch.Put(Slice(K(1)), Slice("from-batch"));
+    batch.Put(Slice(K(2)), Slice("batch-only"));
+    batch.Delete(Slice(K(3)));
+    ASSERT_TRUE(
+        writer.AddBatch(static_cast<uint32_t>(batch.Count()), Slice(batch.rep())).ok());
+    ASSERT_TRUE(writer.AddUpdate(Slice(K(2)), Slice("legacy-wins"), ValueType::kValue).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(Slice(K(1)), &value).ok());
+  EXPECT_EQ(value, "from-batch") << "batch record must shadow the earlier legacy record";
+  ASSERT_TRUE(db->Get(Slice(K(2)), &value).ok());
+  EXPECT_EQ(value, "legacy-wins") << "later legacy record must shadow the batch entry";
+  EXPECT_TRUE(db->Get(Slice(K(3)), &value).IsNotFound());
+}
+
+TEST(FloDBRecoveryTest, SyncedBatchSurvivesCrash) {
+  MemEnv env;
+  {
+    std::unique_ptr<FloDB> db;
+    ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok());
+    WriteOptions sync_options;
+    sync_options.sync = true;
+    WriteBatch batch;
+    for (uint64_t i = 0; i < 20; ++i) {
+      batch.Put(Slice(K(i)), Slice("synced"));
+    }
+    ASSERT_TRUE(db->Write(sync_options, &batch).ok());
+  }
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(WalOptions(&env), &db).ok());
+  std::string value;
+  for (uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db->Get(Slice(K(i)), &value).ok()) << i;
+    EXPECT_EQ(value, "synced");
+  }
+}
+
 TEST(FloDBRecoveryTest, RepeatedReopenCycles) {
   MemEnv env;
   FloDbOptions options = WalOptions(&env);

@@ -398,5 +398,200 @@ TEST_F(FloDBScanTest, ScanStatsTrackMachinery) {
   EXPECT_EQ(stats.master_scans + stats.piggyback_scans, 5u);
 }
 
+// ---- streaming ScanIterator (v2) ----
+
+TEST_F(FloDBScanTest, IteratorMatchesVectorScan) {
+  Open(SmallOptions());
+  // Data spanning memory and disk, with deletions and overwrites.
+  for (uint64_t i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(db_->Put(Slice(K(i)), Slice("old" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(db_->FlushAll().ok());
+  for (uint64_t i = 0; i < 3000; i += 3) {
+    ASSERT_TRUE(db_->Put(Slice(K(i)), Slice("new" + std::to_string(i))).ok());
+  }
+  for (uint64_t i = 0; i < 3000; i += 7) {
+    ASSERT_TRUE(db_->Delete(Slice(K(i))).ok());
+  }
+
+  ScanResult expected;
+  ASSERT_TRUE(db_->Scan(Slice(), Slice(), 0, &expected).ok());
+
+  ReadOptions ropts;
+  ropts.scan_chunk_size = 128;  // force many chunk boundaries
+  auto it = db_->NewScanIterator(ropts, Slice(), Slice());
+  ScanResult streamed;
+  for (; it->Valid(); it->Next()) {
+    streamed.emplace_back(it->key().ToString(), it->value().ToString());
+  }
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_LE(it->MaxBufferedEntries(), 128u);
+  ASSERT_EQ(streamed.size(), expected.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i], expected[i]) << "divergence at index " << i;
+  }
+  EXPECT_EQ(db_->GetStats().iterator_scans, 1u);
+}
+
+TEST_F(FloDBScanTest, IteratorStreamsMillionKeysBounded) {
+  // A 1M-key range must stream through a bounded buffer instead of
+  // materializing: the observable ceiling is the chunk size.
+  FloDbOptions options = SmallOptions();
+  options.memory_budget_bytes = 4 << 20;
+  options.disk.sstable_target_bytes = 4 << 20;  // keep the file count sane at 1M keys
+  Open(options);
+  constexpr uint64_t kKeys = 1'000'000;
+  WriteBatch batch;
+  KeyBuf key_buf;
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    batch.Put(key_buf.Set(SpreadKey(i, kKeys)), Slice("v"));
+    if (batch.Count() == 512) {
+      ASSERT_TRUE(db_->Write(WriteOptions(), &batch).ok());
+      batch.Clear();
+    }
+  }
+  ASSERT_TRUE(db_->Write(WriteOptions(), &batch).ok());
+  ASSERT_TRUE(db_->FlushAll().ok());
+
+  ReadOptions ropts;
+  ropts.scan_chunk_size = 512;
+  auto it = db_->NewScanIterator(ropts, Slice(), Slice());
+  uint64_t count = 0;
+  std::string prev;
+  for (; it->Valid(); it->Next()) {
+    if (count > 0) {
+      ASSERT_LT(prev, it->key().ToString()) << "stream must be sorted and duplicate-free";
+    }
+    prev.assign(it->key().data(), it->key().size());
+    ++count;
+  }
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_EQ(count, kKeys);
+  EXPECT_LE(it->MaxBufferedEntries(), 512u)
+      << "the iterator must never materialize more than one chunk";
+}
+
+TEST_F(FloDBScanTest, IteratorConsistentUnderConcurrentWriters) {
+  Open(SmallOptions());
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(db_->Put(Slice(K(i)), Slice("00000000")).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      Random64 rng(static_cast<uint64_t>(t) + 1);
+      int i = 0;
+      while (!stop.load()) {
+        const char digit = static_cast<char>('1' + (i++ % 9));
+        db_->Put(Slice(K(rng.Uniform(500))), Slice(std::string(8, digit)));
+      }
+    });
+  }
+
+  // Writers only overwrite the fixed key set, so every stream must see
+  // exactly keys 0..499, sorted, each with an untorn value.
+  for (int round = 0; round < 10; ++round) {
+    ReadOptions ropts;
+    ropts.scan_chunk_size = 64;
+    auto it = db_->NewScanIterator(ropts, Slice(K(0)), Slice(K(500)));
+    uint64_t expected_key = 0;
+    for (; it->Valid(); it->Next(), ++expected_key) {
+      ASSERT_EQ(it->key().ToString(), K(expected_key));
+      const std::string value = it->value().ToString();
+      ASSERT_EQ(value.size(), 8u);
+      for (char c : value) {
+        ASSERT_EQ(c, value[0]) << "torn value in streamed result";
+      }
+    }
+    ASSERT_TRUE(it->status().ok());
+    EXPECT_EQ(expected_key, 500u);
+  }
+  stop.store(true);
+  for (auto& w : writers) {
+    w.join();
+  }
+}
+
+TEST_F(FloDBScanTest, IteratorSurvivesMembufferRotationMidIteration) {
+  Open(SmallOptions());
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(db_->Put(Slice(K(i)), Slice("stable")).ok());
+  }
+  ReadOptions ropts;
+  ropts.scan_chunk_size = 50;
+  auto it = db_->NewScanIterator(ropts, Slice(K(0)), Slice(K(300)));
+
+  uint64_t seen = 0;
+  for (; it->Valid() && seen < 100; it->Next()) {
+    ASSERT_EQ(it->key().ToString(), K(seen));
+    ++seen;
+  }
+  // Force a Membuffer swap + drain and a Memtable persist mid-iteration.
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(db_->Put(Slice(K(1000 + i)), Slice("churn")).ok());
+  }
+  ASSERT_TRUE(db_->FlushAll().ok());
+
+  for (; it->Valid(); it->Next()) {
+    ASSERT_EQ(it->key().ToString(), K(seen));
+    ++seen;
+  }
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_EQ(seen, 300u) << "rotation/persist must not lose or duplicate streamed keys";
+}
+
+TEST_F(FloDBScanTest, SnapshotModeHintsSteerElection) {
+  FloDbOptions options = SmallOptions();
+  options.scan_master_reuse_limit = 8;
+  Open(options);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db_->Put(Slice(K(i)), Slice("v")).ok());
+  }
+  db_->WaitUntilDrained();
+
+  ScanResult out;
+  ASSERT_TRUE(db_->Scan(Slice(K(0)), Slice(K(100)), 0, &out).ok());  // publishes a seq
+  const uint64_t masters_after_first = db_->GetStats().master_scans;
+  ASSERT_GE(masters_after_first, 1u);
+
+  // kPiggyback reuses the published seq without a new drain.
+  ReadOptions piggyback;
+  piggyback.snapshot_mode = SnapshotMode::kPiggyback;
+  {
+    auto it = db_->NewScanIterator(piggyback, Slice(K(0)), Slice(K(100)));
+    size_t n = 0;
+    for (; it->Valid(); it->Next()) {
+      ++n;
+    }
+    EXPECT_EQ(n, 100u);
+  }
+  EXPECT_EQ(db_->GetStats().master_scans, masters_after_first);
+  EXPECT_GT(db_->GetStats().piggyback_scans, 0u);
+
+  // kMaster forces a fresh linearizable snapshot even though the reuse
+  // budget has room.
+  ReadOptions master;
+  master.snapshot_mode = SnapshotMode::kMaster;
+  {
+    auto it = db_->NewScanIterator(master, Slice(K(0)), Slice(K(100)));
+    size_t n = 0;
+    for (; it->Valid(); it->Next()) {
+      ++n;
+    }
+    EXPECT_EQ(n, 100u);
+  }
+  EXPECT_EQ(db_->GetStats().master_scans, masters_after_first + 1);
+  EXPECT_EQ(db_->GetStats().iterator_scans, 2u);
+}
+
+TEST_F(FloDBScanTest, IteratorOnEmptyRange) {
+  Open(SmallOptions());
+  ASSERT_TRUE(db_->Put(Slice(K(500)), Slice("outside")).ok());
+  auto it = db_->NewScanIterator(ReadOptions(), Slice(K(0)), Slice(K(100)));
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(it->status().ok());
+}
+
 }  // namespace
 }  // namespace flodb

@@ -1,0 +1,329 @@
+// WriteBatch semantics across the v2 surface: container behavior,
+// atomic commit through FloDB (one WAL record, one contiguous seq range,
+// last-write-wins inside a batch) and through every baseline.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flodb/baselines/hyperleveldb_like.h"
+#include "flodb/baselines/leveldb_like.h"
+#include "flodb/baselines/rocksdb_like.h"
+#include "flodb/bench_util/workload.h"
+#include "flodb/common/key_codec.h"
+#include "flodb/core/flodb.h"
+#include "flodb/core/write_batch.h"
+#include "flodb/disk/mem_env.h"
+#include "flodb/disk/wal.h"
+
+namespace flodb {
+namespace {
+
+using bench::SpreadKey;
+
+std::string K(uint64_t i) { return EncodeKey(SpreadKey(i, 1 << 20)); }
+
+FloDbOptions SmallOptions(MemEnv* env) {
+  FloDbOptions options;
+  options.memory_budget_bytes = 1 << 20;
+  options.disk.env = env;
+  options.disk.path = "/db";
+  options.disk.sstable_target_bytes = 32 << 10;
+  return options;
+}
+
+// ---- container ----
+
+TEST(WriteBatchTest, ContainerBasics) {
+  WriteBatch batch;
+  EXPECT_TRUE(batch.Empty());
+  EXPECT_EQ(batch.Count(), 0u);
+
+  batch.Put(Slice("a"), Slice("1"));
+  batch.Delete(Slice("b"));
+  batch.Put(Slice("c"), Slice("3"));
+  EXPECT_EQ(batch.Count(), 3u);
+  EXPECT_GT(batch.ApproximateBytes(), 0u);
+
+  std::vector<std::string> seen;
+  ASSERT_TRUE(batch
+                  .ForEach([&](const Slice& key, const Slice& value, ValueType type) {
+                    seen.push_back(key.ToString() + "=" + value.ToString() +
+                                   (type == ValueType::kTombstone ? "[del]" : ""));
+                  })
+                  .ok());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "a=1");
+  EXPECT_EQ(seen[1], "b=[del]");
+  EXPECT_EQ(seen[2], "c=3");
+
+  batch.Clear();
+  EXPECT_TRUE(batch.Empty());
+  EXPECT_EQ(batch.ApproximateBytes(), 0u);
+}
+
+TEST(WriteBatchTest, AppendConcatenatesInOrder) {
+  WriteBatch a, b;
+  a.Put(Slice("k1"), Slice("v1"));
+  b.Put(Slice("k1"), Slice("v2"));
+  b.Delete(Slice("k2"));
+  a.Append(b);
+  EXPECT_EQ(a.Count(), 3u);
+
+  std::vector<std::string> keys;
+  ASSERT_TRUE(a.ForEach([&](const Slice& key, const Slice&, ValueType) {
+                 keys.push_back(key.ToString());
+               }).ok());
+  EXPECT_EQ(keys, (std::vector<std::string>{"k1", "k1", "k2"}));
+}
+
+TEST(WriteBatchTest, MalformedRepIsRejected) {
+  EXPECT_TRUE(WriteBatch::IterateRep(Slice("\x07" "garbage"), 1,
+                                     [](const Slice&, const Slice&, ValueType) {})
+                  .IsCorruption());
+  // Truncated length prefix.
+  EXPECT_TRUE(WriteBatch::IterateRep(Slice("\x00\x05" "ab", 4), 1,
+                                     [](const Slice&, const Slice&, ValueType) {})
+                  .IsCorruption());
+}
+
+// ---- FloDB commit semantics ----
+
+TEST(WriteBatchTest, EmptyBatchIsANoOp) {
+  MemEnv env;
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(SmallOptions(&env), &db).ok());
+  WriteBatch batch;
+  ASSERT_TRUE(db->Write(WriteOptions(), &batch).ok());
+  const StoreStats stats = db->GetStats();
+  EXPECT_EQ(stats.batch_writes, 0u);
+  EXPECT_EQ(stats.batch_entries, 0u);
+  EXPECT_EQ(db->Write(WriteOptions(), nullptr).IsInvalidArgument(), true);
+}
+
+TEST(WriteBatchTest, BatchAppliesAllEntries) {
+  MemEnv env;
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(SmallOptions(&env), &db).ok());
+
+  WriteBatch batch;
+  for (uint64_t i = 0; i < 200; ++i) {
+    batch.Put(Slice(K(i)), Slice("batched" + std::to_string(i)));
+  }
+  ASSERT_TRUE(db->Write(WriteOptions(), &batch).ok());
+
+  std::string value;
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db->Get(Slice(K(i)), &value).ok()) << i;
+    EXPECT_EQ(value, "batched" + std::to_string(i));
+  }
+  const StoreStats stats = db->GetStats();
+  EXPECT_EQ(stats.batch_writes, 1u);
+  EXPECT_EQ(stats.batch_entries, 200u);
+  EXPECT_EQ(stats.puts, 200u);
+}
+
+TEST(WriteBatchTest, LastWriteWinsInsideOneBatch) {
+  MemEnv env;
+  // Run both memory-component shapes: Membuffer absorbs duplicates via
+  // in-place updates; without it the contiguous-seq MultiAdd path must
+  // keep batch order for duplicate keys.
+  for (const bool enable_membuffer : {true, false}) {
+    FloDbOptions options = SmallOptions(&env);
+    options.enable_membuffer = enable_membuffer;
+    options.disk.path = enable_membuffer ? "/db_mbf" : "/db_plain";
+    std::unique_ptr<FloDB> db;
+    ASSERT_TRUE(FloDB::Open(options, &db).ok());
+
+    WriteBatch batch;
+    batch.Put(Slice(K(1)), Slice("first"));
+    batch.Put(Slice(K(1)), Slice("second"));
+    batch.Delete(Slice(K(2)));
+    batch.Put(Slice(K(2)), Slice("alive"));
+    batch.Put(Slice(K(3)), Slice("doomed"));
+    batch.Delete(Slice(K(3)));
+    ASSERT_TRUE(db->Write(WriteOptions(), &batch).ok());
+
+    std::string value;
+    ASSERT_TRUE(db->Get(Slice(K(1)), &value).ok());
+    EXPECT_EQ(value, "second") << "membuffer=" << enable_membuffer;
+    ASSERT_TRUE(db->Get(Slice(K(2)), &value).ok());
+    EXPECT_EQ(value, "alive") << "membuffer=" << enable_membuffer;
+    EXPECT_TRUE(db->Get(Slice(K(3)), &value).IsNotFound()) << "membuffer=" << enable_membuffer;
+  }
+}
+
+TEST(WriteBatchTest, BatchCommitsOneContiguousSeqRange) {
+  MemEnv env;
+  // Without the Membuffer every entry receives a Memtable seq at commit:
+  // the whole batch must claim exactly one contiguous block.
+  FloDbOptions options = SmallOptions(&env);
+  options.enable_membuffer = false;
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(options, &db).ok());
+
+  const uint64_t before = db->CurrentSeq();
+  WriteBatch batch;
+  for (uint64_t i = 0; i < 100; ++i) {
+    batch.Put(Slice(K(i)), Slice("v"));
+  }
+  ASSERT_TRUE(db->Write(WriteOptions(), &batch).ok());
+  EXPECT_EQ(db->CurrentSeq(), before + 100)
+      << "a batch of N memtable entries must consume exactly N sequence numbers";
+}
+
+TEST(WriteBatchTest, MembufferAbsorbsBatchWithoutSeqs) {
+  MemEnv env;
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(SmallOptions(&env), &db).ok());
+
+  WriteBatch batch;
+  for (uint64_t i = 0; i < 50; ++i) {
+    batch.Put(Slice(K(i)), Slice("v"));
+  }
+  ASSERT_TRUE(db->Write(WriteOptions(), &batch).ok());
+  // The batch is absorbed entirely by the Membuffer: nothing spilled to
+  // the Memtable at commit time (seqs are assigned later, on drain).
+  const StoreStats stats = db->GetStats();
+  EXPECT_EQ(stats.membuffer_adds, 50u);
+  EXPECT_EQ(stats.memtable_direct_adds, 0u);
+}
+
+TEST(WriteBatchTest, OneWalRecordPerBatch) {
+  MemEnv env;
+  FloDbOptions options = SmallOptions(&env);
+  options.enable_wal = true;
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(options, &db).ok());
+
+  WriteBatch batch;
+  for (uint64_t i = 0; i < 64; ++i) {
+    batch.Put(Slice(K(i)), Slice("wal"));
+  }
+  ASSERT_TRUE(db->Write(WriteOptions(), &batch).ok());
+  // The one-entry wrappers are batches of 1 — still one record each.
+  ASSERT_TRUE(db->Put(Slice(K(100)), Slice("single")).ok());
+  ASSERT_TRUE(db->Delete(Slice(K(100))).ok());
+
+  EXPECT_EQ(db->GetStats().wal_batch_records, 3u);
+
+  // Count the physical records in the live WAL.
+  std::vector<std::string> children;
+  ASSERT_TRUE(env.GetChildren("/db", &children).ok());
+  int records = 0;
+  for (const std::string& name : children) {
+    if (name.rfind("wal-", 0) != 0) {
+      continue;
+    }
+    std::unique_ptr<SequentialFile> file;
+    ASSERT_TRUE(env.NewSequentialFile("/db/" + name, &file).ok());
+    WalReader reader(std::move(file));
+    std::string payload;
+    while (reader.ReadRecord(&payload)) {
+      ++records;
+    }
+    ASSERT_TRUE(reader.status().ok());
+  }
+  EXPECT_EQ(records, 3) << "64 batched entries + 2 single-entry wrappers = 3 WAL records";
+}
+
+TEST(WriteBatchTest, SyncWriteOptionIsAccepted) {
+  MemEnv env;
+  FloDbOptions options = SmallOptions(&env);
+  options.enable_wal = true;
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(options, &db).ok());
+  WriteOptions sync_options;
+  sync_options.sync = true;
+  WriteBatch batch;
+  batch.Put(Slice(K(1)), Slice("durable"));
+  ASSERT_TRUE(db->Write(sync_options, &batch).ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(Slice(K(1)), &value).ok());
+  EXPECT_EQ(value, "durable");
+}
+
+TEST(WriteBatchTest, FillStatsOffSkipsCounters) {
+  MemEnv env;
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(SmallOptions(&env), &db).ok());
+  WriteOptions quiet;
+  quiet.fill_stats = false;
+  WriteBatch batch;
+  batch.Put(Slice(K(1)), Slice("v"));
+  ASSERT_TRUE(db->Write(quiet, &batch).ok());
+  const StoreStats stats = db->GetStats();
+  EXPECT_EQ(stats.batch_writes, 0u);
+  EXPECT_EQ(stats.puts, 0u);
+  std::string value;
+  ASSERT_TRUE(db->Get(Slice(K(1)), &value).ok());  // the write still happened
+}
+
+TEST(WriteBatchTest, BatchVisibleToScan) {
+  MemEnv env;
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(SmallOptions(&env), &db).ok());
+  WriteBatch batch;
+  for (uint64_t i = 0; i < 30; ++i) {
+    batch.Put(Slice(K(i)), Slice("s" + std::to_string(i)));
+  }
+  batch.Delete(Slice(K(10)));
+  ASSERT_TRUE(db->Write(WriteOptions(), &batch).ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(db->Scan(Slice(K(0)), Slice(K(30)), 0, &out).ok());
+  EXPECT_EQ(out.size(), 29u);
+  for (const auto& [key, value] : out) {
+    EXPECT_NE(key, K(10));
+  }
+}
+
+// ---- baselines ----
+
+TEST(WriteBatchTest, BaselinesApplyBatches) {
+  MemEnv env;
+  DiskOptions disk;
+  disk.env = &env;
+
+  std::vector<std::unique_ptr<KVStore>> stores;
+  {
+    std::unique_ptr<KVStore> store;
+    disk.path = "/ldb";
+    ASSERT_TRUE(OpenLevelDBLike(1 << 20, disk, &store).ok());
+    stores.push_back(std::move(store));
+    disk.path = "/hldb";
+    ASSERT_TRUE(OpenHyperLevelDBLike(1 << 20, disk, &store).ok());
+    stores.push_back(std::move(store));
+    disk.path = "/rdb";
+    RocksDBLikeConfig rocks;
+    rocks.memtable_bytes = 1 << 20;
+    ASSERT_TRUE(OpenRocksDBLike(rocks, disk, &store).ok());
+    stores.push_back(std::move(store));
+    disk.path = "/clsm";
+    rocks.clsm_mode = true;
+    ASSERT_TRUE(OpenRocksDBLike(rocks, disk, &store).ok());
+    stores.push_back(std::move(store));
+  }
+
+  for (const auto& store : stores) {
+    WriteBatch batch;
+    batch.Put(Slice(K(1)), Slice("one"));
+    batch.Put(Slice(K(1)), Slice("two"));
+    batch.Put(Slice(K(5)), Slice("five"));
+    batch.Delete(Slice(K(5)));
+    ASSERT_TRUE(store->Write(WriteOptions(), &batch).ok()) << store->Name();
+
+    std::string value;
+    ASSERT_TRUE(store->Get(Slice(K(1)), &value).ok()) << store->Name();
+    EXPECT_EQ(value, "two") << store->Name();
+    EXPECT_TRUE(store->Get(Slice(K(5)), &value).IsNotFound()) << store->Name();
+
+    const StoreStats stats = store->GetStats();
+    EXPECT_EQ(stats.batch_writes, 1u) << store->Name();
+    EXPECT_EQ(stats.batch_entries, 4u) << store->Name();
+  }
+}
+
+}  // namespace
+}  // namespace flodb
