@@ -12,6 +12,11 @@
 //   FLODB_BENCH_VALUE     value bytes                   (default 64)
 //   FLODB_BENCH_MEMORY    memory component bytes        (default 2097152)
 //   FLODB_BENCH_DISK_MBPS persistence bandwidth cap     (default 32)
+//   FLODB_BENCH_SHARDS    comma list of FloDB shard     (default "1")
+//                         counts to sweep (system figs
+//                         add one FloDB column per count)
+//   FLODB_BENCH_JSON      JSON output path (same as the
+//                         --json command-line flag)
 
 #ifndef FLODB_BENCH_BENCH_COMMON_H_
 #define FLODB_BENCH_BENCH_COMMON_H_
@@ -27,10 +32,29 @@
 #include "flodb/bench_util/report.h"
 #include "flodb/bench_util/workload.h"
 #include "flodb/core/flodb.h"
+#include "flodb/core/sharded_store.h"
 #include "flodb/disk/mem_env.h"
 #include "flodb/disk/throttled_env.h"
 
 namespace flodb::bench {
+
+inline std::vector<int> ParseIntList(const char* spec, std::vector<int> def) {
+  if (spec == nullptr || *spec == '\0') {
+    return def;
+  }
+  std::vector<int> out;
+  const std::string s(spec);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    out.push_back(atoi(s.c_str() + pos));
+    pos = s.find(',', pos);
+    if (pos == std::string::npos) {
+      break;
+    }
+    ++pos;
+  }
+  return out.empty() ? def : out;
+}
 
 struct BenchConfig {
   double seconds = 1.0;
@@ -39,28 +63,22 @@ struct BenchConfig {
   size_t value_bytes = 64;
   size_t memory_bytes = 2u << 20;
   uint64_t disk_mbps = 32;
+  // FloDB shard counts to sweep; every count > 1 opens a ShardedKVStore
+  // column next to the plain-FloDB one.
+  std::vector<int> shard_counts = {1};
+  // Machine-readable sink (--json / FLODB_BENCH_JSON); empty = none.
+  std::string json_path;
 
-  static BenchConfig FromEnv() {
+  static BenchConfig FromEnv(int argc = 0, char** argv = nullptr) {
     BenchConfig config;
     config.seconds = EnvDouble("FLODB_BENCH_SECONDS", config.seconds);
     config.key_space = static_cast<uint64_t>(EnvInt("FLODB_BENCH_KEYS", 100'000));
     config.value_bytes = static_cast<size_t>(EnvInt("FLODB_BENCH_VALUE", 64));
     config.memory_bytes = static_cast<size_t>(EnvInt("FLODB_BENCH_MEMORY", 2 << 20));
     config.disk_mbps = static_cast<uint64_t>(EnvInt("FLODB_BENCH_DISK_MBPS", 32));
-    const char* threads_env = getenv("FLODB_BENCH_THREADS");
-    if (threads_env != nullptr && *threads_env != '\0') {
-      config.threads.clear();
-      std::string spec(threads_env);
-      size_t pos = 0;
-      while (pos < spec.size()) {
-        config.threads.push_back(atoi(spec.c_str() + pos));
-        pos = spec.find(',', pos);
-        if (pos == std::string::npos) {
-          break;
-        }
-        ++pos;
-      }
-    }
+    config.threads = ParseIntList(getenv("FLODB_BENCH_THREADS"), config.threads);
+    config.shard_counts = ParseIntList(getenv("FLODB_BENCH_SHARDS"), config.shard_counts);
+    config.json_path = JsonPathFromArgs(argc, argv);
     return config;
   }
 };
@@ -104,7 +122,10 @@ inline const char* StoreName(StoreId id) {
 // Opens a fresh store of the given kind over a throttled in-memory disk.
 // memory_bytes is the total memory-component budget (FloDB splits it 1:3;
 // baselines give it all to their single memtable, as in the paper).
-inline StoreInstance OpenStore(StoreId id, const BenchConfig& config, size_t memory_bytes) {
+// `shards` > 1 opens FloDB as a range-partitioned ShardedKVStore (ignored
+// by the baselines, which have no sharded mode).
+inline StoreInstance OpenStore(StoreId id, const BenchConfig& config, size_t memory_bytes,
+                               int shards = 1) {
   StoreInstance instance;
   instance.mem_env = std::make_unique<MemEnv>();
   instance.throttled_env =
@@ -124,9 +145,16 @@ inline StoreInstance OpenStore(StoreId id, const BenchConfig& config, size_t mem
       // The paper's evaluation configuration: masters may reuse the
       // previous scan seq (serializable scans, §4.4 optimization).
       options.scan_master_reuse_limit = 8;
-      std::unique_ptr<FloDB> db;
-      status = FloDB::Open(options, &db);
-      instance.store = std::move(db);
+      options.shards = shards;
+      if (shards > 1) {
+        std::unique_ptr<ShardedKVStore> db;
+        status = ShardedKVStore::Open(options, &db);
+        instance.store = std::move(db);
+      } else {
+        std::unique_ptr<FloDB> db;
+        status = FloDB::Open(options, &db);
+        instance.store = std::move(db);
+      }
       break;
     }
     case StoreId::kRocksDB: {

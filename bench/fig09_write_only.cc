@@ -7,9 +7,9 @@
 
 #include "system_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flodb::bench;
-  BenchConfig config = BenchConfig::FromEnv();
+  BenchConfig config = BenchConfig::FromEnv(argc, argv);
 
   // Average persistence throughput: bandwidth / persisted entry footprint
   // (key + value + per-entry table overhead).
@@ -25,6 +25,6 @@ int main() {
   spec.workload.put_fraction = 0.5;
   spec.workload.delete_fraction = 0.5;
   spec.init = InitRecipe::kFresh;  // paper: fresh store for write-only
-  RunSystemSweep(spec);
+  RunSystemSweep(spec, config);
   return 0;
 }

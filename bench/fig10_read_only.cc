@@ -5,13 +5,13 @@
 
 #include "system_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flodb::bench;
   SweepSpec spec;
   spec.figure_id = "fig10";
   spec.title = "read-only, sequential init, throughput vs threads";
   spec.workload.get_fraction = 1.0;
   spec.init = InitRecipe::kFullSequential;
-  RunSystemSweep(spec);
+  RunSystemSweep(spec, flodb::bench::BenchConfig::FromEnv(argc, argv));
   return 0;
 }

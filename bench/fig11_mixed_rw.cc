@@ -4,7 +4,7 @@
 
 #include "system_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flodb::bench;
   SweepSpec spec;
   spec.figure_id = "fig11";
@@ -13,6 +13,6 @@ int main() {
   spec.workload.put_fraction = 0.25;
   spec.workload.delete_fraction = 0.25;
   spec.init = InitRecipe::kHalfRandom;
-  RunSystemSweep(spec);
+  RunSystemSweep(spec, flodb::bench::BenchConfig::FromEnv(argc, argv));
   return 0;
 }

@@ -4,7 +4,7 @@
 
 #include "system_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flodb::bench;
   SweepSpec spec;
   spec.figure_id = "fig12";
@@ -13,6 +13,6 @@ int main() {
   spec.init = InitRecipe::kHalfRandom;
   spec.two_role = true;
   spec.writer_spec.put_fraction = 1.0;
-  RunSystemSweep(spec);
+  RunSystemSweep(spec, flodb::bench::BenchConfig::FromEnv(argc, argv));
   return 0;
 }

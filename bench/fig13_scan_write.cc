@@ -5,7 +5,7 @@
 
 #include "system_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flodb::bench;
   SweepSpec spec;
   spec.figure_id = "fig13";
@@ -16,6 +16,6 @@ int main() {
   spec.init = InitRecipe::kHalfRandom;
   spec.metric = [](const DriverResult& r) { return r.MkeysPerSec(); };
   spec.metric_name = "Mkeys/s";
-  RunSystemSweep(spec);
+  RunSystemSweep(spec, flodb::bench::BenchConfig::FromEnv(argc, argv));
   return 0;
 }

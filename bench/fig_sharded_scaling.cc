@@ -1,0 +1,87 @@
+// Sharded scaling: write throughput vs shard count at a fixed thread
+// count. Not a paper figure — this measures the scale lever ABOVE the
+// paper's design: N range-partitioned FloDB instances behind
+// ShardedKVStore, each with its own Membuffer/Memtable/WAL/drain
+// pipeline, so writer threads on different shards share no
+// serialization point at all.
+//
+// Expected shape on a multi-core box: near-linear write scaling until
+// shards ~ cores (the CI acceptance bar is >= 1.5x at shards=4 vs
+// shards=1 on an 8-core runner), flat or slightly negative beyond that
+// (per-shard memory slices shrink, so drains trigger more often).
+//
+//   FLODB_BENCH_SHARDS   comma list of shard counts  (default "1,2,4,8")
+//   FLODB_BENCH_THREADS  thread counts; each is run  (default "4")
+//   --json out.json      machine-readable rows (also FLODB_BENCH_JSON)
+
+#include "system_sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace flodb::bench;
+  BenchConfig config = BenchConfig::FromEnv(argc, argv);
+  if (getenv("FLODB_BENCH_SHARDS") == nullptr) {
+    config.shard_counts = {1, 2, 4, 8};
+  }
+  if (getenv("FLODB_BENCH_THREADS") == nullptr) {
+    config.threads = {4};
+  }
+
+  Report report("fig_sharded_scaling",
+                "write-only (50% insert / 50% delete), throughput vs shard count");
+  report.Header({"threads", "shards", "write Mops/s", "speedup vs 1 shard", "store"});
+
+  WorkloadSpec workload;
+  workload.put_fraction = 0.5;
+  workload.delete_fraction = 0.5;
+  workload.key_space = config.key_space;
+  workload.value_bytes = config.value_bytes;
+
+  const bool json = !config.json_path.empty();
+  for (int threads : config.threads) {
+    // Collect the whole sweep first: the speedup column is always
+    // relative to the shards=1 row (falling back to the first row when 1
+    // is not in the sweep), regardless of list order.
+    struct Cell {
+      int shards;
+      std::string name;
+      DriverResult result;
+      double mops;
+    };
+    std::vector<Cell> cells;
+    for (int shards : config.shard_counts) {
+      StoreInstance instance = OpenStore(StoreId::kFloDB, config, config.memory_bytes, shards);
+
+      DriverOptions driver;
+      driver.threads = threads;
+      driver.seconds = config.seconds;
+      driver.record_latency = json;
+
+      const DriverResult result = RunWorkload(instance.get(), workload, driver);
+      cells.push_back(Cell{shards, instance->Name(), result, result.WriteMopsPerSec()});
+    }
+    double baseline = cells.empty() ? 0 : cells.front().mops;
+    for (const Cell& cell : cells) {
+      if (cell.shards == 1) {
+        baseline = cell.mops;
+      }
+    }
+    for (const Cell& cell : cells) {
+      const double speedup = baseline > 0 ? cell.mops / baseline : 0;
+      report.Row({std::to_string(threads), std::to_string(cell.shards), Report::Fmt(cell.mops, 3),
+                  Report::Fmt(speedup, 2) + "x", cell.name});
+      report.Csv({std::to_string(threads), std::to_string(cell.shards), Report::Fmt(cell.mops, 4),
+                  Report::Fmt(speedup, 3)});
+      if (json) {
+        report.JsonRow({{"store", cell.name}},
+                       {{"threads", static_cast<double>(threads)},
+                        {"shards", static_cast<double>(cell.shards)},
+                        {"mops", cell.mops},
+                        {"speedup", speedup},
+                        {"write_p50_ns", static_cast<double>(cell.result.write_p50)},
+                        {"write_p99_ns", static_cast<double>(cell.result.write_p99)}});
+      }
+    }
+  }
+  report.WriteJson(config.json_path);
+  return 0;
+}

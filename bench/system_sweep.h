@@ -1,6 +1,12 @@
 // Shared driver for the system-comparison figures (9-13): every store,
 // swept over thread counts, with a per-figure workload and initialization
 // recipe. Prints one column per store, one row per thread count, plus CSV.
+//
+// FLODB_BENCH_SHARDS=1,4 adds one FloDB column per extra shard count
+// (range-partitioned ShardedKVStore), so the sharding scale lever shows
+// up directly next to the baselines. With a JSON sink (--json out.json /
+// FLODB_BENCH_JSON) every cell also records throughput and p50/p99
+// latencies for CI regression tracking.
 
 #ifndef FLODB_BENCH_SYSTEM_SWEEP_H_
 #define FLODB_BENCH_SYSTEM_SWEEP_H_
@@ -25,13 +31,39 @@ struct SweepSpec {
   const char* metric_name = "Mops/s";
 };
 
-inline void RunSystemSweep(const SweepSpec& spec) {
-  BenchConfig config = BenchConfig::FromEnv();
+// One column of the sweep: a store kind plus (for FloDB) a shard count.
+struct SweepColumn {
+  StoreId id;
+  int shards = 1;
+  std::string name;
+};
+
+inline std::vector<SweepColumn> SweepColumns(const BenchConfig& config) {
+  std::vector<SweepColumn> columns;
+  for (StoreId id : AllStores()) {
+    if (id == StoreId::kFloDB) {
+      for (int shards : config.shard_counts) {
+        SweepColumn column{id, shards, StoreName(id)};
+        if (shards > 1) {
+          column.name += "-" + std::to_string(shards) + "sh";
+        }
+        columns.push_back(std::move(column));
+      }
+    } else {
+      columns.push_back(SweepColumn{id, 1, StoreName(id)});
+    }
+  }
+  return columns;
+}
+
+inline void RunSystemSweep(const SweepSpec& spec, const BenchConfig& config) {
   Report report(spec.figure_id, spec.title);
+  const std::vector<SweepColumn> columns = SweepColumns(config);
+  const bool json = !config.json_path.empty();
 
   std::vector<std::string> header = {"threads"};
-  for (StoreId id : AllStores()) {
-    header.push_back(StoreName(id));
+  for (const SweepColumn& column : columns) {
+    header.push_back(column.name);
   }
   report.Header(header);
 
@@ -40,8 +72,8 @@ inline void RunSystemSweep(const SweepSpec& spec) {
 
   for (int threads : config.threads) {
     std::vector<std::string> row = {std::to_string(threads)};
-    for (StoreId id : AllStores()) {
-      StoreInstance instance = OpenStore(id, config, config.memory_bytes);
+    for (const SweepColumn& column : columns) {
+      StoreInstance instance = OpenStore(column.id, config, config.memory_bytes, column.shards);
       switch (spec.init) {
         case InitRecipe::kFresh:
           break;
@@ -67,14 +99,26 @@ inline void RunSystemSweep(const SweepSpec& spec) {
       driver.writer_spec = spec.writer_spec;
       driver.writer_spec.key_space = config.key_space;
       driver.writer_spec.value_bytes = config.value_bytes;
+      driver.record_latency = json;
 
       const DriverResult result = RunWorkload(instance.get(), workload, driver);
       const double value = metric(result);
       row.push_back(Report::Fmt(value, 3));
-      report.Csv({std::to_string(threads), StoreName(id), Report::Fmt(value, 4)});
+      report.Csv({std::to_string(threads), column.name, Report::Fmt(value, 4)});
+      if (json) {
+        report.JsonRow({{"store", column.name}},
+                       {{"threads", static_cast<double>(threads)},
+                        {"shards", static_cast<double>(column.shards)},
+                        {"mops", value},
+                        {"read_p50_ns", static_cast<double>(result.read_p50)},
+                        {"read_p99_ns", static_cast<double>(result.read_p99)},
+                        {"write_p50_ns", static_cast<double>(result.write_p50)},
+                        {"write_p99_ns", static_cast<double>(result.write_p99)}});
+      }
     }
     report.Row(row);
   }
+  report.WriteJson(config.json_path);
 }
 
 }  // namespace flodb::bench

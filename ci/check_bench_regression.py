@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON (--json output of a fig* binary) against a
+checked-in baseline and fail on throughput regressions.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--threshold 0.30]
+
+Rows are matched on (store, threads, shards); a row missing from either
+side is reported but not fatal (the sweep matrix may grow). The check
+fails when any matched row's throughput drops more than THRESHOLD below
+the baseline.
+
+Baseline philosophy: the checked-in numbers are a conservative floor
+(roughly half of a typical dev-box run at the pinned perf-smoke
+settings), because absolute throughput varies across CI runner
+generations. The 30% threshold on top means the job only fails on
+genuine order-of-magnitude problems — an accidental global lock, a
+serialization point on the write path — not on runner jitter. Refresh
+the baselines (BUILDING.md "Performance smoke") after intentional
+perf-relevant changes.
+
+Stdlib only: CI must not pip install anything.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        key = (row.get("store"), row.get("threads"), row.get("shards", 1))
+        rows[key] = row
+    return doc.get("figure", "?"), rows
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max allowed fractional drop vs baseline (default 0.30)")
+    args = parser.parse_args()
+
+    fig_cur, current = load_rows(args.current)
+    fig_base, baseline = load_rows(args.baseline)
+    if fig_cur != fig_base:
+        print(f"FAIL: figure mismatch: current={fig_cur} baseline={fig_base}")
+        return 1
+
+    failures = []
+    compared = 0
+    for key, base_row in sorted(baseline.items(), key=str):
+        cur_row = current.get(key)
+        label = f"{key[0]} threads={key[1]} shards={key[2]}"
+        if cur_row is None:
+            print(f"note: no current row for {label} (matrix changed?)")
+            continue
+        base_mops = base_row.get("mops", 0)
+        cur_mops = cur_row.get("mops", 0)
+        if base_mops <= 0:
+            continue
+        compared += 1
+        ratio = cur_mops / base_mops
+        status = "ok"
+        if cur_mops < base_mops * (1.0 - args.threshold):
+            status = "REGRESSION"
+            failures.append(label)
+        print(f"{status:>10}  {label:<40} {cur_mops:.4f} vs baseline {base_mops:.4f} "
+              f"({ratio:.2f}x)")
+
+    for key in sorted(set(current) - set(baseline), key=str):
+        print(f"note: new row not in baseline: {key}")
+
+    if compared == 0:
+        print("FAIL: no comparable rows — baseline and current share no matrix cells")
+        return 1
+    if failures:
+        print(f"FAIL: {len(failures)} row(s) regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}:")
+        for label in failures:
+            print(f"  - {label}")
+        return 1
+    print(f"PASS: {compared} row(s) within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

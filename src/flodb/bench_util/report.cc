@@ -16,6 +16,45 @@ int64_t EnvInt(const char* name, int64_t def) {
   return (v == nullptr || *v == '\0') ? def : atoll(v);
 }
 
+std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--json" && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      return arg.substr(strlen("--json="));
+    }
+  }
+  const char* env = getenv("FLODB_BENCH_JSON");
+  return env != nullptr ? env : "";
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 Report::Report(std::string figure_id, std::string title) : figure_id_(std::move(figure_id)) {
   printf("\n== %s: %s ==\n", figure_id_.c_str(), title.c_str());
 }
@@ -55,6 +94,49 @@ void Report::Csv(const std::vector<std::string>& cells) {
   }
   printf("\n");
   fflush(stdout);
+}
+
+void Report::JsonRow(const std::vector<std::pair<std::string, std::string>>& strings,
+                     const std::vector<std::pair<std::string, double>>& numbers) {
+  std::string row = "{";
+  bool first = true;
+  for (const auto& [key, value] : strings) {
+    if (!first) {
+      row += ", ";
+    }
+    first = false;
+    row += "\"" + JsonEscape(key) + "\": \"" + JsonEscape(value) + "\"";
+  }
+  for (const auto& [key, value] : numbers) {
+    if (!first) {
+      row += ", ";
+    }
+    first = false;
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.6g", value);
+    row += "\"" + JsonEscape(key) + "\": " + buf;
+  }
+  row += "}";
+  json_rows_.push_back(std::move(row));
+}
+
+bool Report::WriteJson(const std::string& path) const {
+  if (path.empty()) {
+    return true;
+  }
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  fprintf(f, "{\"figure\": \"%s\", \"rows\": [\n", JsonEscape(figure_id_).c_str());
+  for (size_t i = 0; i < json_rows_.size(); ++i) {
+    fprintf(f, "  %s%s\n", json_rows_[i].c_str(), i + 1 < json_rows_.size() ? "," : "");
+  }
+  fprintf(f, "]}\n");
+  fclose(f);
+  printf("# wrote %zu JSON rows to %s\n", json_rows_.size(), path.c_str());
+  return true;
 }
 
 std::string Report::Fmt(double v, int precision) {

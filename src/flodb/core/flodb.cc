@@ -70,6 +70,14 @@ Status FloDB::Open(const FloDbOptions& options, std::unique_ptr<FloDB>* out) {
     // a negative count is a configuration error.
     return Status::InvalidArgument("drain_threads must not be negative");
   }
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (options.shards > 1) {
+    // One FloDB is one shard; the range-partitioned facade lives a level
+    // above so this cannot silently ignore the requested parallelism.
+    return Status::InvalidArgument("shards > 1 requires ShardedKVStore::Open");
+  }
 
   auto db = std::unique_ptr<FloDB>(new FloDB(options));
   if (options.enable_persistence) {

@@ -58,6 +58,23 @@ struct FloDbOptions {
   // appends; off by default like the paper's benchmarks.
   bool enable_wal = false;
 
+  // Range-partitioning across independent FloDB instances
+  // (ShardedKVStore::Open; DESIGN.md §8). 1 (the default) is exactly
+  // today's single-instance behavior. Values < 1 are rejected; a
+  // non-power-of-two count rounds UP to the next power of two (the
+  // requested parallelism is a floor), capped at 256. Each shard gets
+  // memory_budget_bytes / shards, a subdirectory of disk.path, its own
+  // WAL, and a slice of the drain/compaction thread budgets (floor of
+  // one thread per shard). FloDB::Open itself only accepts shards == 1;
+  // open a sharded store through ShardedKVStore::Open.
+  int shards = 1;
+
+  // Leading key bytes ignored by the shard router — for key schemas with
+  // a constant prefix ("session:...") that would otherwise collapse every
+  // key into one shard. 0 keeps routing order-preserving, which lets
+  // range scans prune to the shards intersecting their bounds.
+  size_t shard_key_prefix_skip = 0;
+
   DiskOptions disk;
 };
 

@@ -1,0 +1,103 @@
+// ShardRouter: deterministic key -> shard mapping for ShardedKVStore.
+//
+// Routing extracts an 8-byte big-endian prefix of the key (optionally
+// skipping a fixed number of leading bytes for schemas with a constant
+// key prefix, e.g. "queue:...") and takes its top log2(shards) bits —
+// the same top-bits partitioning the Membuffer uses internally (§4.3),
+// lifted to whole store instances.
+//
+// With prefix_skip == 0 the mapping is ORDER-PRESERVING: if k1 < k2
+// byte-wise then ShardOf(k1) <= ShardOf(k2) (zero-padding the 8-byte
+// prefix is the minimal extension of a shorter key), so every shard owns
+// one contiguous key range and range scans can prune to the shards
+// intersecting [low, high). With prefix_skip > 0 ranges interleave and
+// scans must consult every shard; the k-way merge keeps the output
+// globally ordered either way.
+
+#ifndef FLODB_CORE_SHARD_ROUTER_H_
+#define FLODB_CORE_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+#include "flodb/common/slice.h"
+
+namespace flodb {
+
+class ShardRouter {
+ public:
+  // REQUIRES: shards is a power of two in [1, 256] (ShardedKVStore::Open
+  // validates and rounds before constructing one).
+  ShardRouter(int shards, size_t prefix_skip)
+      : shards_(shards), prefix_skip_(prefix_skip), shard_bits_(Log2(shards)) {}
+
+  int shards() const { return shards_; }
+  bool order_preserving() const { return prefix_skip_ == 0; }
+
+  int ShardOf(const Slice& key) const {
+    if (shard_bits_ == 0) {
+      return 0;
+    }
+    return static_cast<int>(RoutingPrefix(key) >> (64 - shard_bits_));
+  }
+
+  // The shards a scan over [low, high) must consult: [first, last], both
+  // inclusive. Exact-to-one-shard pruning when order-preserving;
+  // otherwise the full range (every shard may hold keys inside the
+  // bounds). The shard owning `high` is always included even though the
+  // bound is exclusive: short keys zero-pad into the boundary prefix
+  // (e.g. "\x40" < "\x40\x00..." yet both route to the same shard), so
+  // the boundary shard can legitimately hold keys below `high`.
+  void ShardRange(const Slice& low, const Slice& high, int* first, int* last) const {
+    if (!order_preserving()) {
+      *first = 0;
+      *last = shards_ - 1;
+      return;
+    }
+    *first = low.empty() ? 0 : ShardOf(low);
+    // An empty high bound means "unbounded above".
+    *last = high.empty() ? shards_ - 1 : ShardOf(high);
+  }
+
+  static bool IsPowerOfTwo(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+  // The documented rounding rule: a non-power-of-two shard count rounds
+  // UP to the next power of two (so the requested parallelism is a floor,
+  // never silently reduced).
+  static int RoundUpToPowerOfTwo(int v) {
+    int p = 1;
+    while (p < v) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+ private:
+  static int Log2(int v) {
+    int bits = 0;
+    while ((1 << bits) < v) {
+      ++bits;
+    }
+    return bits;
+  }
+
+  // Big-endian uint64 of key bytes [prefix_skip, prefix_skip + 8),
+  // zero-padded past the end of the key.
+  uint64_t RoutingPrefix(const Slice& key) const {
+    uint64_t prefix = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      const size_t pos = prefix_skip_ + i;
+      const uint8_t byte =
+          pos < key.size() ? static_cast<uint8_t>(key.data()[pos]) : 0;
+      prefix = (prefix << 8) | byte;
+    }
+    return prefix;
+  }
+
+  const int shards_;
+  const size_t prefix_skip_;
+  const int shard_bits_;
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_CORE_SHARD_ROUTER_H_

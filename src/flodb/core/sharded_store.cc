@@ -1,0 +1,366 @@
+// ShardedKVStore: batch splitting, routed point ops, and the k-way
+// merged scan over per-shard streaming iterators. See sharded_store.h
+// and DESIGN.md §8 for the semantics.
+
+#include "flodb/core/sharded_store.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "flodb/disk/env.h"
+#include "flodb/disk/merging_iterator.h"
+
+namespace flodb {
+
+namespace {
+
+// The topology manifest ("<path>/SHARDING"): shard count and routing
+// prefix skip, written on first open. Reopening with a different
+// topology would silently strand durable data in shards the new router
+// never consults, so a mismatch refuses to open.
+constexpr char kShardingManifest[] = "/SHARDING";
+
+std::string EncodeTopology(int shards, size_t prefix_skip) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "shards=%d prefix_skip=%zu\n", shards, prefix_skip);
+  return buf;
+}
+
+Status CheckOrWriteTopology(Env* env, const std::string& base, int shards, size_t prefix_skip) {
+  const std::string path = base + kShardingManifest;
+  const std::string expected = EncodeTopology(shards, prefix_skip);
+  std::string existing;
+  if (ReadFileToString(env, path, &existing).ok()) {
+    if (existing != expected) {
+      return Status::InvalidArgument("sharding topology mismatch: " + base + " was created with " +
+                                     existing + " but was opened with " + expected);
+    }
+    return Status::OK();
+  }
+  return WriteStringToFile(env, Slice(expected), path, /*sync=*/true);
+}
+
+// Presents a per-shard ScanIterator (user-facing: tombstones elided, one
+// live version per key) as a disk/Iterator so NewMergingIterator can
+// heap-merge shard streams. Keys never collide across shards (routing is
+// a function of the key), so the merge degenerates to pure interleaving
+// and the synthetic seq/type are never consulted for ordering decisions
+// that matter.
+class ShardChildIterator final : public Iterator {
+ public:
+  explicit ShardChildIterator(std::unique_ptr<ScanIterator> child)
+      : child_(std::move(child)) {}
+
+  bool Valid() const override { return child_->Valid(); }
+
+  // Already positioned at its low bound by construction.
+  void SeekToFirst() override {}
+
+  void Seek(const Slice& target) override {
+    // Forward-only: a ScanIterator cannot rewind, and the merge only ever
+    // seeks forward (it never does at all in the current facade).
+    while (child_->Valid() && child_->key().compare(target) < 0) {
+      child_->Next();
+    }
+  }
+
+  void Next() override { child_->Next(); }
+
+  Slice key() const override { return child_->key(); }
+  Slice value() const override { return child_->value(); }
+  uint64_t seq() const override { return 0; }
+  ValueType type() const override { return ValueType::kValue; }
+  Status status() const override { return child_->status(); }
+
+  size_t MaxBufferedEntries() const { return child_->MaxBufferedEntries(); }
+
+ private:
+  std::unique_ptr<ScanIterator> child_;
+};
+
+// The cross-shard cursor: per-shard streaming iterators under one k-way
+// merge. Memory stays bounded by (consulted shards) x chunk size; the
+// per-chunk snapshot guarantees of each shard stream carry over per
+// shard (DESIGN.md §8).
+class ShardedScanIterator final : public ScanIterator {
+ public:
+  ShardedScanIterator(std::vector<std::unique_ptr<ScanIterator>> children) {
+    std::vector<std::unique_ptr<Iterator>> adapted;
+    adapted.reserve(children.size());
+    for (auto& child : children) {
+      auto adapter = std::make_unique<ShardChildIterator>(std::move(child));
+      children_.push_back(adapter.get());
+      adapted.push_back(std::move(adapter));
+    }
+    merged_ = NewMergingIterator(std::move(adapted));
+    merged_->SeekToFirst();
+  }
+
+  bool Valid() const override { return merged_->Valid(); }
+  void Next() override { merged_->Next(); }
+  Slice key() const override { return merged_->key(); }
+  Slice value() const override { return merged_->value(); }
+  Status status() const override { return merged_->status(); }
+
+  // The facade's observable bound: the sum of the shard streams' high-water
+  // marks (each bounded by its chunk size).
+  size_t MaxBufferedEntries() const override {
+    size_t total = 0;
+    for (const ShardChildIterator* child : children_) {
+      total += child->MaxBufferedEntries();
+    }
+    return total;
+  }
+
+ private:
+  std::vector<ShardChildIterator*> children_;  // owned by merged_
+  std::unique_ptr<Iterator> merged_;
+};
+
+}  // namespace
+
+ShardedKVStore::ShardedKVStore(int shards, size_t prefix_skip) : router_(shards, prefix_skip) {
+  shards_.reserve(static_cast<size_t>(shards));
+}
+
+std::string ShardedKVStore::ShardPath(const std::string& base, int shard) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "/shard-%03d", shard);
+  return base + buf;
+}
+
+Status ShardedKVStore::Open(const FloDbOptions& options, std::unique_ptr<ShardedKVStore>* out) {
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (options.shards > kMaxShards) {
+    return Status::InvalidArgument("shards must be <= 256");
+  }
+  const int n = ShardRouter::RoundUpToPowerOfTwo(options.shards);
+  if (options.memory_budget_bytes / static_cast<size_t>(n) == 0) {
+    return Status::InvalidArgument("memory_budget_bytes too small for shard count");
+  }
+
+  // Per-shard configuration: an equal slice of the memory budget and of
+  // the background-thread budgets (floor of one thread per shard; 0 keeps
+  // its meaning — "let FloDB clamp" for drain, "disabled" for compaction).
+  FloDbOptions shard_options = options;
+  shard_options.shards = 1;
+  shard_options.memory_budget_bytes = options.memory_budget_bytes / static_cast<size_t>(n);
+  if (options.drain_threads > 0) {
+    shard_options.drain_threads = std::max(1, options.drain_threads / n);
+  }
+  if (options.disk.compaction_threads > 0) {
+    shard_options.disk.compaction_threads = std::max(1, options.disk.compaction_threads / n);
+  }
+
+  auto store = std::unique_ptr<ShardedKVStore>(
+      new ShardedKVStore(n, options.shard_key_prefix_skip));
+  if (options.enable_persistence) {
+    if (options.disk.env == nullptr || options.disk.path.empty()) {
+      return Status::InvalidArgument("persistence requires disk.env and disk.path");
+    }
+    Status s = options.disk.env->CreateDir(options.disk.path);
+    if (!s.ok()) {
+      return s;
+    }
+    s = CheckOrWriteTopology(options.disk.env, options.disk.path, n,
+                             options.shard_key_prefix_skip);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  // Open (and recover) shards in index order; no shard serves traffic
+  // until every WAL has replayed. A failure abandons the already-opened
+  // shards (their destructors stop cleanly; nothing was modified beyond
+  // each shard's own recovery).
+  for (int i = 0; i < n; ++i) {
+    FloDbOptions per_shard = shard_options;
+    if (options.enable_persistence) {
+      per_shard.disk.path = ShardPath(options.disk.path, i);
+    }
+    std::unique_ptr<FloDB> shard;
+    Status s = FloDB::Open(per_shard, &shard);
+    if (!s.ok()) {
+      return s;
+    }
+    store->shards_.push_back(std::move(shard));
+  }
+  *out = std::move(store);
+  return Status::OK();
+}
+
+Status ShardedKVStore::Write(const WriteOptions& options, WriteBatch* batch) {
+  if (batch == nullptr) {
+    return Status::InvalidArgument("null write batch");
+  }
+  if (batch->Empty()) {
+    return Status::OK();
+  }
+  if (shards_.size() == 1) {
+    return shards_[0]->Write(options, batch);
+  }
+
+  // First pass: does the batch straddle shards at all? The common cases —
+  // one-entry Put/Delete wrappers and locality-aware batches — stay on
+  // the zero-copy path.
+  int single_shard = -1;
+  bool straddles = false;
+  Status s = batch->ForEach([&](const Slice& key, const Slice&, ValueType) {
+    const int shard = router_.ShardOf(key);
+    if (single_shard < 0) {
+      single_shard = shard;
+    } else if (shard != single_shard) {
+      straddles = true;
+    }
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  if (!straddles) {
+    return shards_[single_shard]->Write(options, batch);
+  }
+
+  // Split by shard, preserving relative entry order inside each split so
+  // last-write-wins still holds per key (a key always routes to the same
+  // shard). Reused per thread so steady-state splitting is allocation-free.
+  thread_local std::vector<WriteBatch> splits;
+  if (splits.size() < shards_.size()) {
+    splits.resize(shards_.size());
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    splits[i].Clear();
+  }
+  s = batch->ForEach([&](const Slice& key, const Slice& value, ValueType type) {
+    WriteBatch& split = splits[static_cast<size_t>(router_.ShardOf(key))];
+    if (type == ValueType::kValue) {
+      split.Put(key, value);
+    } else {
+      split.Delete(key);
+    }
+  });
+  if (!s.ok()) {
+    return s;
+  }
+  cross_shard_writes_.fetch_add(1, std::memory_order_relaxed);
+
+  // One group commit per touched shard, in shard order. Atomicity is
+  // PER SHARD: a crash can persist a prefix of the touched shards
+  // (DESIGN.md §8); within each shard the split replays all-or-nothing.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (splits[i].Empty()) {
+      continue;
+    }
+    s = shards_[i]->Write(options, &splits[i]);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedKVStore::Get(const ReadOptions& options, const Slice& key, std::string* value) {
+  return shards_[static_cast<size_t>(router_.ShardOf(key))]->Get(options, key, value);
+}
+
+std::unique_ptr<ScanIterator> ShardedKVStore::NewMergedIterator(const ReadOptions& options,
+                                                                const Slice& low_key,
+                                                                const Slice& high_key) {
+  int first = 0;
+  int last = 0;
+  router_.ShardRange(low_key, high_key, &first, &last);
+  std::vector<std::unique_ptr<ScanIterator>> children;
+  // Inverted bounds (low > high) give first > last: an empty merge, to
+  // match the single-shard behavior of an immediately-exhausted scan.
+  if (last >= first) {
+    children.reserve(static_cast<size_t>(last - first + 1));
+  }
+  for (int i = first; i <= last; ++i) {
+    children.push_back(shards_[static_cast<size_t>(i)]->NewScanIterator(options, low_key, high_key));
+  }
+  return std::make_unique<ShardedScanIterator>(std::move(children));
+}
+
+Status ShardedKVStore::Scan(const ReadOptions& options, const Slice& low_key,
+                            const Slice& high_key, size_t limit,
+                            std::vector<std::pair<std::string, std::string>>* out) {
+  if (shards_.size() == 1) {
+    return shards_[0]->Scan(options, low_key, high_key, limit, out);
+  }
+  out->clear();
+  // Collect through the merged stream: per-shard memory stays bounded by
+  // the chunk size even though the result vector materializes.
+  std::unique_ptr<ScanIterator> iter = NewMergedIterator(options, low_key, high_key);
+  for (; iter->Valid(); iter->Next()) {
+    out->emplace_back(iter->key().ToString(), iter->value().ToString());
+    if (limit != 0 && out->size() >= limit) {
+      break;
+    }
+  }
+  return iter->status();
+}
+
+std::unique_ptr<ScanIterator> ShardedKVStore::NewScanIterator(const ReadOptions& options,
+                                                              const Slice& low_key,
+                                                              const Slice& high_key) {
+  if (shards_.size() == 1) {
+    return shards_[0]->NewScanIterator(options, low_key, high_key);
+  }
+  return NewMergedIterator(options, low_key, high_key);
+}
+
+Status ShardedKVStore::FlushAll() {
+  for (auto& shard : shards_) {
+    Status s = shard->FlushAll();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+StoreStats ShardedKVStore::GetStats() const {
+  StoreStats total;
+  for (const auto& shard : shards_) {
+    const StoreStats s = shard->GetStats();
+    total.puts += s.puts;
+    total.gets += s.gets;
+    total.deletes += s.deletes;
+    total.scans += s.scans;
+    total.batch_writes += s.batch_writes;
+    total.batch_entries += s.batch_entries;
+    total.wal_batch_records += s.wal_batch_records;
+    total.iterator_scans += s.iterator_scans;
+    total.membuffer_adds += s.membuffer_adds;
+    total.memtable_direct_adds += s.memtable_direct_adds;
+    total.drained_entries += s.drained_entries;
+    total.scan_restarts += s.scan_restarts;
+    total.fallback_scans += s.fallback_scans;
+    total.master_scans += s.master_scans;
+    total.piggyback_scans += s.piggyback_scans;
+    total.membuffer_rotations += s.membuffer_rotations;
+    total.disk.bytes_flushed += s.disk.bytes_flushed;
+    total.disk.bytes_compacted_in += s.disk.bytes_compacted_in;
+    total.disk.bytes_compacted_out += s.disk.bytes_compacted_out;
+    total.disk.compactions += s.disk.compactions;
+    total.disk.flushes += s.disk.flushes;
+    total.disk.seeks_saved_by_bloom += s.disk.seeks_saved_by_bloom;
+    if (total.disk.files_per_level.size() < s.disk.files_per_level.size()) {
+      total.disk.files_per_level.resize(s.disk.files_per_level.size(), 0);
+    }
+    for (size_t l = 0; l < s.disk.files_per_level.size(); ++l) {
+      total.disk.files_per_level[l] += s.disk.files_per_level[l];
+    }
+  }
+  return total;
+}
+
+std::string ShardedKVStore::Name() const {
+  if (shards_.size() == 1) {
+    return shards_[0]->Name();
+  }
+  return "ShardedFloDB(" + std::to_string(shards_.size()) + ")";
+}
+
+}  // namespace flodb

@@ -1,0 +1,102 @@
+// ShardedKVStore: a KVStore facade that range-partitions the keyspace
+// across N independent FloDB instances (DESIGN.md §8).
+//
+// Each shard is a complete FloDB — its own Membuffer/Memtable pair, WAL,
+// drain and persist threads — under a per-shard subdirectory of
+// disk.path, so writes to different shards share NO serialization point:
+// no common WAL mutex, no common Membuffer, no common drain pipeline.
+// The configured memory budget and drain/compaction thread budgets are
+// divided across the shards (floor of one thread per shard).
+//
+//   Write(batch)  -> split by shard, one group commit per touched shard
+//                    (per-shard atomicity only — DESIGN.md §8).
+//   Get/Put/Del   -> routed to the owning shard.
+//   Scan/iterate  -> per-shard streaming iterators merged by a k-way
+//                    heap (reusing disk/merging_iterator), preserving
+//                    PR 2's bounded-chunk memory ceiling per shard.
+//   Open          -> recovers every shard (per-shard WAL replay) before
+//                    any shard serves traffic.
+//
+// shards == 1 is a pure pass-through: every operation forwards to the
+// single FloDB untouched, so behavior and stats match a plain instance
+// byte for byte (tested by sharded_store_test.cc).
+
+#ifndef FLODB_CORE_SHARDED_STORE_H_
+#define FLODB_CORE_SHARDED_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flodb/core/flodb.h"
+#include "flodb/core/kv_store.h"
+#include "flodb/core/options.h"
+#include "flodb/core/shard_router.h"
+
+namespace flodb {
+
+class ShardedKVStore final : public KVStore {
+ public:
+  // Hard ceiling on the shard count (beyond it the per-shard budgets
+  // degenerate and thread counts explode).
+  static constexpr int kMaxShards = 256;
+
+  // Opens (and recovers) options.shards FloDB instances. Rejects
+  // shards < 1 or > kMaxShards; rounds a non-power-of-two count up to
+  // the next power of two (see FloDbOptions::shards).
+  static Status Open(const FloDbOptions& options, std::unique_ptr<ShardedKVStore>* out);
+  ~ShardedKVStore() override = default;
+
+  ShardedKVStore(const ShardedKVStore&) = delete;
+  ShardedKVStore& operator=(const ShardedKVStore&) = delete;
+
+  using KVStore::Get;
+  using KVStore::Scan;
+
+  Status Write(const WriteOptions& options, WriteBatch* batch) override;
+  Status Get(const ReadOptions& options, const Slice& key, std::string* value) override;
+  Status Scan(const ReadOptions& options, const Slice& low_key, const Slice& high_key,
+              size_t limit, std::vector<std::pair<std::string, std::string>>* out) override;
+  std::unique_ptr<ScanIterator> NewScanIterator(const ReadOptions& options, const Slice& low_key,
+                                                const Slice& high_key) override;
+  Status FlushAll() override;
+
+  // Rolled-up stats: the sum over shards. Note that a cross-shard Write
+  // counts one batch_write PER TOUCHED SHARD (each shard's group commit
+  // is real — its own WAL record and memory-component pass).
+  StoreStats GetStats() const override;
+  std::string Name() const override;
+
+  // ---- introspection for tests, benchmarks and operators ----
+  int NumShards() const { return static_cast<int>(shards_.size()); }
+  const ShardRouter& router() const { return router_; }
+  int ShardOf(const Slice& key) const { return router_.ShardOf(key); }
+  // Per-shard stats (balance/skew diagnostics).
+  StoreStats ShardStats(int shard) const { return shards_[shard]->GetStats(); }
+  // Write() calls whose batch straddled shards and paid the split pass
+  // (the split-rate diagnostic: high values suggest keys could be
+  // grouped by locality before committing).
+  uint64_t CrossShardWrites() const {
+    return cross_shard_writes_.load(std::memory_order_relaxed);
+  }
+  FloDB* shard(int i) const { return shards_[i].get(); }
+
+  // The subdirectory shard `i` lives in, given the configured base path.
+  static std::string ShardPath(const std::string& base, int shard);
+
+ private:
+  ShardedKVStore(int shards, size_t prefix_skip);
+
+  std::unique_ptr<ScanIterator> NewMergedIterator(const ReadOptions& options,
+                                                  const Slice& low_key, const Slice& high_key);
+
+  const ShardRouter router_;
+  std::vector<std::unique_ptr<FloDB>> shards_;
+
+  mutable std::atomic<uint64_t> cross_shard_writes_{0};
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_CORE_SHARDED_STORE_H_

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "flodb/core/flodb.h"
+#include "flodb/core/sharded_store.h"
 #include "flodb/disk/mem_env.h"
 
 namespace flodb {
@@ -118,6 +119,45 @@ TEST_F(OptionsTest, NoPersistenceNeedsNoDiskConfig) {
   options.memory_budget_bytes = 1 << 20;
   options.enable_persistence = false;
   EXPECT_TRUE(Open(options).ok());
+}
+
+TEST_F(OptionsTest, ShardCountBelowOneRejected) {
+  FloDbOptions options = ValidOptions();
+  options.shards = 0;
+  EXPECT_TRUE(Open(options).IsInvalidArgument());
+  options.shards = -4;
+  EXPECT_TRUE(Open(options).IsInvalidArgument());
+  std::unique_ptr<ShardedKVStore> sharded;
+  options.shards = 0;
+  EXPECT_TRUE(ShardedKVStore::Open(options, &sharded).IsInvalidArgument());
+}
+
+TEST_F(OptionsTest, PlainOpenRejectsMultiShardConfigs) {
+  // One FloDB is one shard; asking it for more must fail loudly instead of
+  // silently serving a single instance (ShardedKVStore::Open is the facade).
+  FloDbOptions options = ValidOptions();
+  options.shards = 4;
+  EXPECT_TRUE(Open(options).IsInvalidArgument());
+}
+
+TEST_F(OptionsTest, NonPowerOfTwoShardsRoundUp) {
+  // The documented rounding rule: requested parallelism is a floor —
+  // non-power-of-two counts round UP to the next power of two.
+  FloDbOptions options = ValidOptions();
+  options.shards = 6;
+  std::unique_ptr<ShardedKVStore> sharded;
+  ASSERT_TRUE(ShardedKVStore::Open(options, &sharded).ok());
+  EXPECT_EQ(sharded->NumShards(), 8);
+  options.shards = 8;
+  ASSERT_TRUE(ShardedKVStore::Open(options, &sharded).ok());
+  EXPECT_EQ(sharded->NumShards(), 8);
+}
+
+TEST_F(OptionsTest, ShardCountAboveCapRejected) {
+  FloDbOptions options = ValidOptions();
+  options.shards = ShardedKVStore::kMaxShards + 1;
+  std::unique_ptr<ShardedKVStore> sharded;
+  EXPECT_TRUE(ShardedKVStore::Open(options, &sharded).IsInvalidArgument());
 }
 
 }  // namespace
