@@ -15,6 +15,11 @@
 //   FLODB_BENCH_SHARDS    comma list of FloDB shard     (default "1")
 //                         counts to sweep (system figs
 //                         add one FloDB column per count)
+//   FLODB_BENCH_CACHE     comma list of extra FloDB      (default none)
+//                         block-cache byte sizes; each
+//                         adds a FloDB column at that
+//                         size ("0" = a FloDB-nocache
+//                         column next to the default)
 //   FLODB_BENCH_JSON      JSON output path (same as the
 //                         --json command-line flag)
 
@@ -38,15 +43,16 @@
 
 namespace flodb::bench {
 
-inline std::vector<int> ParseIntList(const char* spec, std::vector<int> def) {
+template <typename Int>
+inline std::vector<Int> ParseNumList(const char* spec, std::vector<Int> def) {
   if (spec == nullptr || *spec == '\0') {
     return def;
   }
-  std::vector<int> out;
+  std::vector<Int> out;
   const std::string s(spec);
   size_t pos = 0;
   while (pos < s.size()) {
-    out.push_back(atoi(s.c_str() + pos));
+    out.push_back(static_cast<Int>(atoll(s.c_str() + pos)));
     pos = s.find(',', pos);
     if (pos == std::string::npos) {
       break;
@@ -54,6 +60,14 @@ inline std::vector<int> ParseIntList(const char* spec, std::vector<int> def) {
     ++pos;
   }
   return out.empty() ? def : out;
+}
+
+inline std::vector<int> ParseIntList(const char* spec, std::vector<int> def) {
+  return ParseNumList<int>(spec, std::move(def));
+}
+
+inline std::vector<long long> ParseInt64List(const char* spec, std::vector<long long> def) {
+  return ParseNumList<long long>(spec, std::move(def));
 }
 
 struct BenchConfig {
@@ -66,6 +80,10 @@ struct BenchConfig {
   // FloDB shard counts to sweep; every count > 1 opens a ShardedKVStore
   // column next to the plain-FloDB one.
   std::vector<int> shard_counts = {1};
+  // Extra FloDB block-cache sizes to sweep; every entry adds a FloDB
+  // column opened with that block_cache_bytes (0 = caching off) next to
+  // the default-cache column.
+  std::vector<long long> cache_bytes_list;
   // Machine-readable sink (--json / FLODB_BENCH_JSON); empty = none.
   std::string json_path;
 
@@ -78,6 +96,7 @@ struct BenchConfig {
     config.disk_mbps = static_cast<uint64_t>(EnvInt("FLODB_BENCH_DISK_MBPS", 32));
     config.threads = ParseIntList(getenv("FLODB_BENCH_THREADS"), config.threads);
     config.shard_counts = ParseIntList(getenv("FLODB_BENCH_SHARDS"), config.shard_counts);
+    config.cache_bytes_list = ParseInt64List(getenv("FLODB_BENCH_CACHE"), {});
     config.json_path = JsonPathFromArgs(argc, argv);
     return config;
   }
@@ -123,9 +142,11 @@ inline const char* StoreName(StoreId id) {
 // memory_bytes is the total memory-component budget (FloDB splits it 1:3;
 // baselines give it all to their single memtable, as in the paper).
 // `shards` > 1 opens FloDB as a range-partitioned ShardedKVStore (ignored
-// by the baselines, which have no sharded mode).
+// by the baselines, which have no sharded mode). `block_cache_bytes` >= 0
+// overrides the DiskOptions block-cache default for FloDB columns (0 =
+// caching off); -1 keeps the default.
 inline StoreInstance OpenStore(StoreId id, const BenchConfig& config, size_t memory_bytes,
-                               int shards = 1) {
+                               int shards = 1, long long block_cache_bytes = -1) {
   StoreInstance instance;
   instance.mem_env = std::make_unique<MemEnv>();
   instance.throttled_env =
@@ -135,6 +156,9 @@ inline StoreInstance OpenStore(StoreId id, const BenchConfig& config, size_t mem
   disk.env = instance.throttled_env.get();
   disk.path = "/bench";
   disk.sstable_target_bytes = 1 << 20;
+  if (block_cache_bytes >= 0) {
+    disk.block_cache_bytes = static_cast<size_t>(block_cache_bytes);
+  }
 
   Status status;
   switch (id) {

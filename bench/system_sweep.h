@@ -31,10 +31,12 @@ struct SweepSpec {
   const char* metric_name = "Mops/s";
 };
 
-// One column of the sweep: a store kind plus (for FloDB) a shard count.
+// One column of the sweep: a store kind plus (for FloDB) a shard count
+// and an optional block-cache-size override (-1 = DiskOptions default).
 struct SweepColumn {
   StoreId id;
   int shards = 1;
+  long long cache_bytes = -1;
   std::string name;
 };
 
@@ -43,14 +45,23 @@ inline std::vector<SweepColumn> SweepColumns(const BenchConfig& config) {
   for (StoreId id : AllStores()) {
     if (id == StoreId::kFloDB) {
       for (int shards : config.shard_counts) {
-        SweepColumn column{id, shards, StoreName(id)};
+        SweepColumn column{id, shards, -1, StoreName(id)};
         if (shards > 1) {
           column.name += "-" + std::to_string(shards) + "sh";
         }
         columns.push_back(std::move(column));
       }
+      // FLODB_BENCH_CACHE: one extra single-shard FloDB column per listed
+      // block-cache size, so the cache lever shows up next to the default
+      // (CI pins "0" for a FloDB-nocache column in the fig10 gate).
+      for (long long cache : config.cache_bytes_list) {
+        SweepColumn column{id, 1, cache, StoreName(id)};
+        column.name +=
+            cache == 0 ? "-nocache" : "-cache" + std::to_string(cache >> 10) + "KB";
+        columns.push_back(std::move(column));
+      }
     } else {
-      columns.push_back(SweepColumn{id, 1, StoreName(id)});
+      columns.push_back(SweepColumn{id, 1, -1, StoreName(id)});
     }
   }
   return columns;
@@ -73,7 +84,8 @@ inline void RunSystemSweep(const SweepSpec& spec, const BenchConfig& config) {
   for (int threads : config.threads) {
     std::vector<std::string> row = {std::to_string(threads)};
     for (const SweepColumn& column : columns) {
-      StoreInstance instance = OpenStore(column.id, config, config.memory_bytes, column.shards);
+      StoreInstance instance =
+          OpenStore(column.id, config, config.memory_bytes, column.shards, column.cache_bytes);
       switch (spec.init) {
         case InitRecipe::kFresh:
           break;
@@ -106,6 +118,7 @@ inline void RunSystemSweep(const SweepSpec& spec, const BenchConfig& config) {
       row.push_back(Report::Fmt(value, 3));
       report.Csv({std::to_string(threads), column.name, Report::Fmt(value, 4)});
       if (json) {
+        const StoreStats stats = instance->GetStats();
         report.JsonRow({{"store", column.name}},
                        {{"threads", static_cast<double>(threads)},
                         {"shards", static_cast<double>(column.shards)},
@@ -113,7 +126,8 @@ inline void RunSystemSweep(const SweepSpec& spec, const BenchConfig& config) {
                         {"read_p50_ns", static_cast<double>(result.read_p50)},
                         {"read_p99_ns", static_cast<double>(result.read_p99)},
                         {"write_p50_ns", static_cast<double>(result.write_p50)},
-                        {"write_p99_ns", static_cast<double>(result.write_p99)}});
+                        {"write_p99_ns", static_cast<double>(result.write_p99)},
+                        {"block_cache_hit_rate", stats.disk.BlockCacheHitRate()}});
       }
     }
     report.Row(row);

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate the block cache's efficacy, not just its speed: on the skewed
+(zipfian) read workload a warm cache of reasonable size MUST serve the
+majority of block reads, or the cache is misbehaving (broken keying, an
+eviction bug, a purge that drops the hot set) even if throughput still
+looks plausible.
+
+Usage:
+    check_cache_hit_rate.py BENCH.json [--dist zipfian]
+        [--min-hit-rate 0.5] [--min-cache-bytes 4194304]
+
+Reads fig_read_cached --json output: rows with {"dist", "cache_bytes",
+"hit_rate"}. Every row of the chosen distribution whose cache_bytes >=
+--min-cache-bytes must reach --min-hit-rate. The size cutoff exists
+because a deliberately tiny cache legitimately misses (the zipfian hot
+set spans ~1000 distinct blocks at the pinned key space); the gate
+checks the sizes where the hot set fits.
+
+Stdlib only: CI must not pip install anything.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("bench_json")
+    parser.add_argument("--dist", default="zipfian",
+                        help="distribution to gate (default zipfian)")
+    parser.add_argument("--min-hit-rate", type=float, default=0.5,
+                        help="required hit rate on gated rows (default 0.5)")
+    parser.add_argument("--min-cache-bytes", type=int, default=4 << 20,
+                        help="gate only rows with at least this cache size "
+                             "(default 4MiB)")
+    args = parser.parse_args()
+
+    with open(args.bench_json) as f:
+        doc = json.load(f)
+
+    gated = 0
+    failures = []
+    for row in doc.get("rows", []):
+        if row.get("dist") != args.dist:
+            continue
+        cache_bytes = row.get("cache_bytes", 0)
+        hit_rate = row.get("hit_rate", 0.0)
+        label = f"{args.dist} cache={round(cache_bytes / 1024)}KB"
+        # 1% slack: the bench JSON emitter rounds numbers to 6 significant
+        # digits, so exact byte comparisons misclassify boundary sizes.
+        if cache_bytes < args.min_cache_bytes * 0.99:
+            print(f"      skip  {label:<30} hit_rate={hit_rate:.3f} "
+                  f"(below {args.min_cache_bytes >> 10}KB gate size)")
+            continue
+        gated += 1
+        status = "ok"
+        if hit_rate < args.min_hit_rate:
+            status = "FAIL"
+            failures.append(label)
+        print(f"{status:>10}  {label:<30} hit_rate={hit_rate:.3f} "
+              f"(need >= {args.min_hit_rate:.2f})")
+
+    if gated == 0:
+        print(f"FAIL: no {args.dist} rows with cache_bytes >= "
+              f"{args.min_cache_bytes} — did the sweep change?")
+        return 1
+    if failures:
+        print(f"FAIL: {len(failures)} row(s) under the "
+              f"{args.min_hit_rate:.0%} hit-rate floor:")
+        for label in failures:
+            print(f"  - {label}")
+        return 1
+    print(f"PASS: {gated} row(s) at or above {args.min_hit_rate:.0%} hit rate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,73 @@
 #include "flodb/bench_util/workload.h"
 
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "flodb/common/hash.h"
 #include "flodb/common/key_codec.h"
 
 namespace flodb::bench {
 
+namespace {
+
+// Memoized across generators: the O(n) harmonic sum otherwise runs per
+// worker thread INSIDE the driver's measured wall-clock window, which
+// would deflate zipfian throughput columns relative to uniform ones at
+// large key spaces.
+double Zeta(uint64_t n, double theta) {
+  static std::mutex mu;
+  static std::map<std::pair<uint64_t, double>, double> memo;
+  const std::pair<uint64_t, double> key(n, theta);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = memo.find(key);
+    if (it != memo.end()) {
+      return it->second;
+    }
+  }
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  memo.emplace(key, sum);
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta) {
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+  threshold2_ = 1.0 + std::pow(0.5, theta_);
+}
+
+uint64_t ZipfianGenerator::Next(Random64& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < threshold2_) {
+    return 1;
+  }
+  auto rank = static_cast<uint64_t>(static_cast<double>(n_) *
+                                    std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
 WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec, int thread_id)
-    : spec_(spec), rng_(spec.seed * 0x9e3779b9u + static_cast<uint64_t>(thread_id) * 7919u + 1) {
+    : spec_(spec),
+      distribution_(spec.skewed ? KeyDistribution::kHotspot : spec.distribution),
+      rng_(spec.seed * 0x9e3779b9u + static_cast<uint64_t>(thread_id) * 7919u + 1) {
+  if (distribution_ == KeyDistribution::kZipfian) {
+    zipf_ = std::make_unique<ZipfianGenerator>(spec_.key_space, spec_.zipfian_theta);
+  }
   value_buf_.resize(spec_.value_bytes);
   for (size_t i = 0; i < value_buf_.size(); ++i) {
     value_buf_[i] = static_cast<char>('a' + (i + static_cast<size_t>(thread_id)) % 26);
@@ -34,8 +96,17 @@ OpType WorkloadGenerator::NextOp() {
 }
 
 uint64_t WorkloadGenerator::NextKey() {
-  if (!spec_.skewed) {
-    return rng_.Uniform(spec_.key_space);
+  switch (distribution_) {
+    case KeyDistribution::kUniform:
+      return rng_.Uniform(spec_.key_space);
+    case KeyDistribution::kZipfian: {
+      // Scramble the rank so hot keys scatter over the key space instead
+      // of clustering at its low end (YCSB's "scrambled zipfian").
+      const uint64_t rank = zipf_->Next(rng_);
+      return MixU64(rank) % spec_.key_space;
+    }
+    case KeyDistribution::kHotspot:
+      break;
   }
   const auto hot_keys =
       static_cast<uint64_t>(static_cast<double>(spec_.key_space) * spec_.hot_key_fraction);

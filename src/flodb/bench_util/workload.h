@@ -8,6 +8,7 @@
 #define FLODB_BENCH_UTIL_WORKLOAD_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "flodb/common/random.h"
@@ -17,6 +18,18 @@
 namespace flodb::bench {
 
 enum class OpType { kGet, kPut, kDelete, kScan, kBatchPut };
+
+// Key-draw distribution over [0, key_space).
+enum class KeyDistribution {
+  kUniform,
+  // Two-level hotspot: `hot_access_fraction` of draws land in the first
+  // `hot_key_fraction` of the key space (paper §5.4: 98% of ops on 2%).
+  kHotspot,
+  // YCSB-style scrambled zipfian: ranks follow a zipfian(theta) law and
+  // are then hashed over the key space, so the hot set is scattered
+  // instead of key-adjacent (the realistic shape for cache studies).
+  kZipfian,
+};
 
 struct WorkloadSpec {
   // Operation mix; fractions must sum to ~1.
@@ -33,13 +46,32 @@ struct WorkloadSpec {
   size_t value_bytes = 64;   // paper: 256B values, 8B keys (scaled here)
   size_t scan_length = 100;  // keys per scan (Figure 13: 100)
 
-  // Hotspot skew: `hot_access_fraction` of key draws land in the first
-  // `hot_key_fraction` of the key space (paper §5.4: 98% of ops on 2%).
+  // Key distribution. `skewed` is the legacy hotspot switch kept for the
+  // figure benches; when set it overrides `distribution` with kHotspot.
+  KeyDistribution distribution = KeyDistribution::kUniform;
   bool skewed = false;
   double hot_key_fraction = 0.02;
   double hot_access_fraction = 0.98;
+  double zipfian_theta = 0.99;  // YCSB default skew
 
   uint64_t seed = 42;
+};
+
+// Zipfian rank generator over [0, n) after Gray et al. / YCSB: rank 0 is
+// the hottest. Construction is O(n) (zeta sum); Next() is O(1).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Random64& rng) const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double threshold2_;  // cumulative probability of the two hottest ranks
 };
 
 // Per-thread generator (no shared state, deterministic per (seed, thread)).
@@ -55,7 +87,9 @@ class WorkloadGenerator {
 
  private:
   const WorkloadSpec spec_;
+  const KeyDistribution distribution_;
   Random64 rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;  // only for kZipfian
   std::string value_buf_;
   uint64_t value_salt_ = 0;
 };

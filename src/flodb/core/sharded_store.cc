@@ -140,6 +140,11 @@ Status ShardedKVStore::Open(const FloDbOptions& options, std::unique_ptr<Sharded
   if (options.memory_budget_bytes / static_cast<size_t>(n) == 0) {
     return Status::InvalidArgument("memory_budget_bytes too small for shard count");
   }
+  if (options.disk.table_cache_entries == 0) {
+    // Checked before the per-shard floor below would paper over it; keep
+    // the error identical to the single-instance path's.
+    return Status::InvalidArgument("table_cache_entries must be >= 1");
+  }
 
   // Per-shard configuration: an equal slice of the memory budget and of
   // the background-thread budgets (floor of one thread per shard; 0 keeps
@@ -153,6 +158,15 @@ Status ShardedKVStore::Open(const FloDbOptions& options, std::unique_ptr<Sharded
   if (options.disk.compaction_threads > 0) {
     shard_options.disk.compaction_threads = std::max(1, options.disk.compaction_threads / n);
   }
+  // Read-path caches split like the memory budget, with floors so a high
+  // shard count cannot silently flip caching off (0 keeps meaning
+  // "disabled") or strand a shard without table handles.
+  if (options.disk.block_cache_bytes > 0) {
+    shard_options.disk.block_cache_bytes =
+        std::max<size_t>(options.disk.block_cache_bytes / static_cast<size_t>(n), 64u << 10);
+  }
+  shard_options.disk.table_cache_entries =
+      std::max<size_t>(options.disk.table_cache_entries / static_cast<size_t>(n), 1);
 
   auto store = std::unique_ptr<ShardedKVStore>(
       new ShardedKVStore(n, options.shard_key_prefix_skip));
@@ -346,6 +360,15 @@ StoreStats ShardedKVStore::GetStats() const {
     total.disk.compactions += s.disk.compactions;
     total.disk.flushes += s.disk.flushes;
     total.disk.seeks_saved_by_bloom += s.disk.seeks_saved_by_bloom;
+    total.disk.block_cache_hits += s.disk.block_cache_hits;
+    total.disk.block_cache_misses += s.disk.block_cache_misses;
+    total.disk.block_cache_evictions += s.disk.block_cache_evictions;
+    total.disk.block_cache_bytes += s.disk.block_cache_bytes;
+    total.disk.block_cache_pinned_bytes += s.disk.block_cache_pinned_bytes;
+    total.disk.table_cache_hits += s.disk.table_cache_hits;
+    total.disk.table_cache_misses += s.disk.table_cache_misses;
+    total.disk.table_cache_evictions += s.disk.table_cache_evictions;
+    total.disk.table_cache_entries += s.disk.table_cache_entries;
     if (total.disk.files_per_level.size() < s.disk.files_per_level.size()) {
       total.disk.files_per_level.resize(s.disk.files_per_level.size(), 0);
     }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "flodb/common/coding.h"
 #include "flodb/disk/merging_iterator.h"
 #include "flodb/disk/table_builder.h"
 
@@ -41,7 +42,22 @@ Status DiskComponent::Open(const DiskOptions& options, std::unique_ptr<DiskCompo
   if (options.env == nullptr || options.path.empty()) {
     return Status::InvalidArgument("DiskOptions requires env and path");
   }
+  if (options.table_cache_entries == 0) {
+    // Without any open-table reuse every Get would reopen (and re-read
+    // the index + bloom filter of) its file; reject the footgun instead
+    // of silently crawling. block_cache_bytes == 0 stays valid: it only
+    // turns off block caching.
+    return Status::InvalidArgument("table_cache_entries must be >= 1");
+  }
   auto dc = std::unique_ptr<DiskComponent>(new DiskComponent(options));
+  if (options.block_cache_bytes > 0) {
+    dc->block_cache_ = std::make_unique<ShardedLruCache>(options.block_cache_bytes);
+  }
+  // Entry-charged cache: cap the shard count by the entry budget so no
+  // shard ends up with a zero slice of a small open-table bound.
+  dc->table_cache_ = std::make_unique<ShardedLruCache>(
+      options.table_cache_entries,
+      static_cast<int>(std::min<size_t>(options.table_cache_entries, ShardedLruCache::kNumShards)));
   dc->versions_ =
       std::make_unique<VersionSet>(options.env, options.path, options.num_levels);
   Status s = dc->versions_->Recover();
@@ -66,28 +82,53 @@ DiskComponent::~DiskComponent() {
   }
 }
 
+namespace {
+
+// Table-cache values are heap shared_ptrs so pinned readers (iterators,
+// compactions) outlive eviction; the cache entry holds one strong ref.
+void DeleteTableEntry(const Slice& /*key*/, void* value) {
+  delete static_cast<std::shared_ptr<TableReader>*>(value);
+}
+
+Slice TableCacheKey(uint64_t number, char* buf /*8 bytes*/) {
+  EncodeFixed64(buf, number);
+  return Slice(buf, 8);
+}
+
+}  // namespace
+
 std::shared_ptr<TableReader> DiskComponent::GetTable(uint64_t number, uint64_t file_size) const {
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = table_cache_.find(number);
-    if (it != table_cache_.end()) {
-      return it->second;
-    }
+  char buf[8];
+  const Slice key = TableCacheKey(number, buf);
+  if (ShardedLruCache::Handle* handle = table_cache_->Lookup(key)) {
+    std::shared_ptr<TableReader> table =
+        *static_cast<std::shared_ptr<TableReader>*>(table_cache_->Value(handle));
+    table_cache_->Release(handle);
+    return table;
   }
   std::unique_ptr<RandomAccessFile> file;
   Status s = options_.env->NewRandomAccessFile(versions_->TableFileName(number), &file);
   if (!s.ok()) {
     return nullptr;
   }
+  TableReader::Options reader_options;
+  reader_options.block_cache = block_cache_.get();
+  reader_options.cache_id = number;  // file numbers are never reused
   std::unique_ptr<TableReader> reader;
-  s = TableReader::Open(std::move(file), file_size, &reader);
+  s = TableReader::Open(std::move(file), file_size, reader_options, &reader);
   if (!s.ok()) {
     return nullptr;
   }
-  std::shared_ptr<TableReader> shared(std::move(reader));
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  auto [it, inserted] = table_cache_.emplace(number, shared);
-  return it->second;
+  // Two threads can race the same miss and both insert; the loser's
+  // entry is replaced and its reader torn down once unpinned (a benign
+  // transient: the torn-down duplicate also purges the file's shared
+  // block keys, costing at most a few warm blocks).
+  auto* holder = new std::shared_ptr<TableReader>(std::move(reader));
+  std::shared_ptr<TableReader> table = *holder;
+  ShardedLruCache::Handle* handle =
+      table_cache_->Insert(key, holder, /*charge=*/1, &DeleteTableEntry);
+  table_cache_->Release(handle);
+  return table;
 }
 
 Status DiskComponent::AddRun(Iterator* iter) {
@@ -365,7 +406,11 @@ Status DiskComponent::DoCompaction(const CompactionJob& job) {
       if (table == nullptr) {
         return Status::IOError("compaction input missing");
       }
-      children.push_back(table->NewIterator());
+      // No-fill: a compaction streams every input block exactly once and
+      // then deletes the files — inserting them would flush the readers'
+      // hot set out of the shared cache for nothing. Blocks user reads
+      // already cached are still served from the cache.
+      children.push_back(table->NewIterator(/*fill_cache=*/false));
       pinned.push_back(std::move(table));
       in_bytes += f.file_size;
     }
@@ -491,8 +536,10 @@ void DiskComponent::RemoveObsoleteFiles() {
       continue;
     }
     options_.env->RemoveFile(options_.path + "/" + name);
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    table_cache_.erase(number);
+    // Dropping the table handle tears down its reader (once unpinned),
+    // which purges the file's blocks from the block cache.
+    char buf[8];
+    table_cache_->Erase(TableCacheKey(number, buf));
   }
 }
 
@@ -554,6 +601,21 @@ DiskComponent::Stats DiskComponent::GetStats() const {
   stats.compactions = compactions_.load(std::memory_order_relaxed);
   stats.flushes = flushes_.load(std::memory_order_relaxed);
   stats.seeks_saved_by_bloom = bloom_skips_.load(std::memory_order_relaxed);
+  if (block_cache_ != nullptr) {
+    const ShardedLruCache::Stats cache = block_cache_->GetStats();
+    stats.block_cache_hits = cache.hits;
+    stats.block_cache_misses = cache.misses;
+    stats.block_cache_evictions = cache.evictions;
+    stats.block_cache_bytes = cache.charge;
+    stats.block_cache_pinned_bytes = cache.pinned_charge;
+  }
+  {
+    const ShardedLruCache::Stats cache = table_cache_->GetStats();
+    stats.table_cache_hits = cache.hits;
+    stats.table_cache_misses = cache.misses;
+    stats.table_cache_evictions = cache.evictions;
+    stats.table_cache_entries = cache.entries;
+  }
   return stats;
 }
 

@@ -18,9 +18,9 @@
 #include <set>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
+#include "flodb/common/cache.h"
 #include "flodb/common/slice.h"
 #include "flodb/common/status.h"
 #include "flodb/disk/env.h"
@@ -37,6 +37,16 @@ struct DiskOptions {
   size_t sstable_target_bytes = 2u << 20;  // output rolling size (compactions)
   size_t block_bytes = 4096;
   int bloom_bits_per_key = 10;
+
+  // Shared LRU block cache over decoded data blocks, keyed
+  // (file_number, block_index) and charged by byte size. 0 disables
+  // caching: every block read goes to the Env.
+  size_t block_cache_bytes = 8u << 20;
+
+  // Bound on concurrently open TableReaders (an LRU over table handles;
+  // each holds its file, index and bloom filter pinned). Evicting a
+  // table also drops its cached blocks. Must be >= 1.
+  size_t table_cache_entries = 64;
 
   int num_levels = 7;
   int l0_compaction_trigger = 4;   // L0 file count that triggers L0->L1
@@ -81,10 +91,33 @@ class DiskComponent {
     uint64_t compactions = 0;
     uint64_t flushes = 0;
     uint64_t seeks_saved_by_bloom = 0;
+
+    // Read-path caches (zero when the block cache is disabled).
+    uint64_t block_cache_hits = 0;
+    uint64_t block_cache_misses = 0;
+    uint64_t block_cache_evictions = 0;
+    uint64_t block_cache_bytes = 0;         // resident charge
+    uint64_t block_cache_pinned_bytes = 0;  // pinned by in-flight readers
+    uint64_t table_cache_hits = 0;
+    uint64_t table_cache_misses = 0;
+    uint64_t table_cache_evictions = 0;
+    uint64_t table_cache_entries = 0;  // currently open tables
+
+    // Hit fraction over all block-cache probes (0 when none happened).
+    double BlockCacheHitRate() const {
+      const uint64_t probes = block_cache_hits + block_cache_misses;
+      return probes == 0 ? 0.0
+                         : static_cast<double>(block_cache_hits) / static_cast<double>(probes);
+    }
   };
   Stats GetStats() const;
 
   const DiskOptions& options() const { return options_; }
+
+  // The shared read-path caches (block cache null when disabled).
+  // Exposed for tests and diagnostics.
+  ShardedLruCache* block_cache() const { return block_cache_.get(); }
+  ShardedLruCache* table_cache() const { return table_cache_.get(); }
 
  private:
   struct CompactionJob {
@@ -110,8 +143,12 @@ class DiskComponent {
   const DiskOptions options_;
   std::unique_ptr<VersionSet> versions_;
 
-  mutable std::mutex cache_mu_;
-  mutable std::unordered_map<uint64_t, std::shared_ptr<TableReader>> table_cache_;
+  // Declaration order is a destruction-order contract: evicting the last
+  // table handles (in ~table_cache_) runs TableReader destructors, which
+  // purge their blocks from block_cache_ — so the block cache must be
+  // destroyed AFTER (declared before) the table cache.
+  std::unique_ptr<ShardedLruCache> block_cache_;  // null when disabled
+  std::unique_ptr<ShardedLruCache> table_cache_;  // bounded open-table LRU
 
   // Output files being written but not yet installed in a Version. File
   // GC must skip them — without this, RemoveObsoleteFiles racing with a

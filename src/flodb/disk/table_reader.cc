@@ -8,6 +8,14 @@
 
 namespace flodb {
 
+namespace {
+
+void DeleteCachedBlock(const Slice& /*key*/, void* value) {
+  delete static_cast<std::string*>(value);
+}
+
+}  // namespace
+
 const char* ParseTableEntry(const char* p, const char* limit, Slice* key, uint64_t* seq,
                             ValueType* type, Slice* value) {
   uint32_t klen;
@@ -32,8 +40,14 @@ const char* ParseTableEntry(const char* p, const char* limit, Slice* key, uint64
   return p + vlen;
 }
 
+Slice TableReader::BlockCacheKey(uint64_t cache_id, uint64_t block_index, char* buf) {
+  EncodeFixed64(buf, cache_id);
+  EncodeFixed64(buf + 8, block_index);
+  return Slice(buf, kBlockCacheKeySize);
+}
+
 Status TableReader::Open(std::unique_ptr<RandomAccessFile> file, uint64_t file_size,
-                         std::unique_ptr<TableReader>* reader) {
+                         const Options& options, std::unique_ptr<TableReader>* reader) {
   if (file_size < kFooterSize) {
     return Status::Corruption("table file too small");
   }
@@ -61,6 +75,7 @@ Status TableReader::Open(std::unique_ptr<RandomAccessFile> file, uint64_t file_s
   }
 
   auto table = std::unique_ptr<TableReader>(new TableReader());
+  table->cache_options_ = options;
   table->num_entries_ = entry_count;
 
   // Load filter.
@@ -114,7 +129,21 @@ Status TableReader::Open(std::unique_ptr<RandomAccessFile> file, uint64_t file_s
   return Status::OK();
 }
 
-Status TableReader::ReadBlock(size_t i, std::string* out) const {
+TableReader::~TableReader() {
+  // Purge this file's blocks so a deleted table's bytes leave the shared
+  // cache with the reader instead of lingering until LRU pressure. Keys
+  // never read are simply absent — Erase of a missing key is a cheap
+  // no-op. Blocks still pinned by in-flight readers survive until their
+  // BlockRefs drop (refcount), they just become unreachable.
+  if (cache_options_.block_cache != nullptr) {
+    char buf[kBlockCacheKeySize];
+    for (size_t i = 0; i < index_.size(); ++i) {
+      cache_options_.block_cache->Erase(BlockCacheKey(cache_options_.cache_id, i, buf));
+    }
+  }
+}
+
+Status TableReader::ReadBlockFromFile(size_t i, std::string* out) const {
   const IndexEntry& e = index_[i];
   out->resize(e.size + kBlockCrcSize);
   Slice result;
@@ -134,6 +163,41 @@ Status TableReader::ReadBlock(size_t i, std::string* out) const {
     return Status::Corruption("data block checksum mismatch");
   }
   out->resize(e.size);
+  return Status::OK();
+}
+
+Status TableReader::ReadBlock(size_t i, BlockRef* out, bool fill_cache) const {
+  out->Reset();
+  ShardedLruCache* cache = cache_options_.block_cache;
+  ShardedLruCache::Handle* handle = nullptr;
+  if (cache != nullptr) {
+    char buf[kBlockCacheKeySize];
+    const Slice key = BlockCacheKey(cache_options_.cache_id, i, buf);
+    handle = cache->Lookup(key);
+    if (handle == nullptr && fill_cache) {
+      auto block = std::make_unique<std::string>();
+      Status s = ReadBlockFromFile(i, block.get());
+      if (!s.ok()) {
+        return s;
+      }
+      // Two racing misses both insert; the second replaces the first,
+      // whose pinned readers stay valid via their handles. Charge the
+      // block's payload bytes.
+      handle = cache->Insert(key, block.get(), block->size(), &DeleteCachedBlock);
+      block.release();  // owned by the cache entry now
+    }
+  }
+  if (handle != nullptr) {
+    out->pin_ = CacheHandleGuard(cache, handle);
+    out->data_ = Slice(*static_cast<const std::string*>(cache->Value(handle)));
+    return Status::OK();
+  }
+  // No cache attached, or a no-fill miss: local copy.
+  Status s = ReadBlockFromFile(i, &out->owned_);
+  if (!s.ok()) {
+    return s;
+  }
+  out->data_ = Slice(out->owned_);
   return Status::OK();
 }
 
@@ -161,13 +225,13 @@ Status TableReader::Get(const Slice& key, std::string* value, uint64_t* seq,
   if (block >= index_.size()) {
     return Status::NotFound();
   }
-  std::string data;
-  Status s = ReadBlock(block, &data);
+  BlockRef ref;
+  Status s = ReadBlock(block, &ref);
   if (!s.ok()) {
     return s;
   }
-  const char* p = data.data();
-  const char* limit = p + data.size();
+  const char* p = ref.data().data();
+  const char* limit = p + ref.data().size();
   while (p < limit) {
     Slice k, v;
     uint64_t entry_seq;
@@ -196,10 +260,11 @@ Status TableReader::Get(const Slice& key, std::string* value, uint64_t* seq,
   return Status::NotFound();
 }
 
-// Iterates blocks sequentially, parsing entries in place.
+// Iterates blocks sequentially, parsing entries in place. Holds a pinned
+// ref on the current block, so eviction under the iterator is safe.
 class TableReader::Iter final : public Iterator {
  public:
-  explicit Iter(const TableReader* table) : table_(table) {}
+  Iter(const TableReader* table, bool fill_cache) : table_(table), fill_cache_(fill_cache) {}
 
   bool Valid() const override { return valid_; }
 
@@ -234,12 +299,12 @@ class TableReader::Iter final : public Iterator {
   void LoadBlockAndScanTo(const Slice& target) {
     valid_ = false;
     while (block_index_ < table_->index_.size()) {
-      status_ = table_->ReadBlock(block_index_, &block_);
+      status_ = table_->ReadBlock(block_index_, &block_, fill_cache_);
       if (!status_.ok()) {
         return;
       }
-      pos_ = block_.data();
-      limit_ = block_.data() + block_.size();
+      pos_ = block_.data().data();
+      limit_ = pos_ + block_.data().size();
       ParseOne();
       while (valid_ && !target.empty() && key_.compare(target) < 0) {
         ParseOne();
@@ -266,8 +331,9 @@ class TableReader::Iter final : public Iterator {
   }
 
   const TableReader* const table_;
+  const bool fill_cache_;
   size_t block_index_ = 0;
-  std::string block_;
+  BlockRef block_;
   const char* pos_ = nullptr;
   const char* limit_ = nullptr;
   bool valid_ = false;
@@ -277,8 +343,8 @@ class TableReader::Iter final : public Iterator {
   Status status_;
 };
 
-std::unique_ptr<Iterator> TableReader::NewIterator() const {
-  return std::make_unique<Iter>(this);
+std::unique_ptr<Iterator> TableReader::NewIterator(bool fill_cache) const {
+  return std::make_unique<Iter>(this, fill_cache);
 }
 
 }  // namespace flodb

@@ -160,5 +160,63 @@ TEST_F(OptionsTest, ShardCountAboveCapRejected) {
   EXPECT_TRUE(ShardedKVStore::Open(options, &sharded).IsInvalidArgument());
 }
 
+TEST_F(OptionsTest, ZeroTableCacheEntriesRejected) {
+  // Without open-table reuse every Get would reopen its file; the
+  // degenerate config is a misconfiguration, not a mode.
+  FloDbOptions options = ValidOptions();
+  options.disk.table_cache_entries = 0;
+  EXPECT_TRUE(Open(options).IsInvalidArgument());
+  std::unique_ptr<ShardedKVStore> sharded;
+  options.shards = 2;
+  EXPECT_TRUE(ShardedKVStore::Open(options, &sharded).IsInvalidArgument());
+}
+
+TEST_F(OptionsTest, ZeroBlockCacheBytesDisablesCaching) {
+  // 0 is a valid mode (block caching off), not an error.
+  FloDbOptions options = ValidOptions();
+  options.disk.block_cache_bytes = 0;
+  EXPECT_TRUE(Open(options).ok());
+}
+
+TEST_F(OptionsTest, ShardedOpenSplitsCacheBudgets) {
+  FloDbOptions options = ValidOptions();
+  options.memory_budget_bytes = 8u << 20;
+  options.shards = 4;
+  options.disk.block_cache_bytes = 4u << 20;
+  options.disk.table_cache_entries = 32;
+  std::unique_ptr<ShardedKVStore> sharded;
+  ASSERT_TRUE(ShardedKVStore::Open(options, &sharded).ok());
+  for (int i = 0; i < sharded->NumShards(); ++i) {
+    const DiskOptions& disk = sharded->shard(i)->options().disk;
+    EXPECT_EQ(disk.block_cache_bytes, (4u << 20) / 4);
+    EXPECT_EQ(disk.table_cache_entries, 8u);
+  }
+}
+
+TEST_F(OptionsTest, ShardedCacheSplitRespectsFloors) {
+  // A high shard count must not flip caching off (64KB floor) or strand
+  // a shard without table handles (1-entry floor); an explicit 0 keeps
+  // meaning "disabled" on every shard.
+  FloDbOptions options = ValidOptions();
+  options.memory_budget_bytes = 32u << 20;
+  options.shards = 16;
+  options.disk.block_cache_bytes = 256u << 10;  // 16KB per shard pre-floor
+  options.disk.table_cache_entries = 4;         // 0 per shard pre-floor
+  std::unique_ptr<ShardedKVStore> sharded;
+  ASSERT_TRUE(ShardedKVStore::Open(options, &sharded).ok());
+  for (int i = 0; i < sharded->NumShards(); ++i) {
+    const DiskOptions& disk = sharded->shard(i)->options().disk;
+    EXPECT_EQ(disk.block_cache_bytes, 64u << 10);
+    EXPECT_EQ(disk.table_cache_entries, 1u);
+  }
+
+  options.disk.block_cache_bytes = 0;
+  options.disk.path = "/db-nocache";  // fresh dir: topology manifest differs per config
+  ASSERT_TRUE(ShardedKVStore::Open(options, &sharded).ok());
+  for (int i = 0; i < sharded->NumShards(); ++i) {
+    EXPECT_EQ(sharded->shard(i)->options().disk.block_cache_bytes, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace flodb
