@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Gate the group-commit win: at the highest common writer count,
+sync_coalesce=on must beat per-writer fsync by at least MIN_RATIO in
+sync-write throughput, and the coalesced rows must actually share fsyncs
+(wal_syncs strictly below writes).
+
+Usage:
+    check_sync_coalesce.py BENCH_fig_sync_write.json [--min-ratio 2.0]
+
+Consumes the --json output of bench/fig_sync_write (rows keyed by store
+"FloDB-sync-coalesce" / "FloDB-sync-per-writer" and thread count). The
+2x bar is deliberately below the typical 4-8x so scheduler jitter on a
+loaded runner cannot trip it; a failure means the writer queue stopped
+forming groups — e.g. the leader holding the WAL mutex through its
+fsync again.
+
+Stdlib only: CI must not pip install anything.
+"""
+
+import argparse
+import json
+import sys
+
+COALESCE = "FloDB-sync-coalesce"
+PER_WRITER = "FloDB-sync-per-writer"
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("--min-ratio", type=float, default=2.0,
+                        help="min coalesce/per-writer throughput ratio (default 2.0)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        rows[(row.get("store"), row.get("threads"))] = row
+
+    common = sorted(t for (store, t) in rows if store == COALESCE
+                    and (PER_WRITER, t) in rows)
+    if not common:
+        print("FAIL: no thread count present for both coalesce modes")
+        return 1
+    threads = common[-1]
+    if threads < 2:
+        print(f"FAIL: need a multi-writer data point, best common is threads={threads}")
+        return 1
+
+    on = rows[(COALESCE, threads)]
+    off = rows[(PER_WRITER, threads)]
+    ratio = on["mops"] / off["mops"] if off["mops"] > 0 else float("inf")
+    print(f"threads={threads}: coalesce {on['mops']:.5f} Mops vs per-writer "
+          f"{off['mops']:.5f} Mops -> {ratio:.2f}x (need >= {args.min_ratio:.2f}x)")
+
+    failures = []
+    if ratio < args.min_ratio:
+        failures.append(f"coalesce speedup {ratio:.2f}x below {args.min_ratio:.2f}x")
+
+    syncs, writes = on.get("wal_syncs"), on.get("writes")
+    if syncs is None or writes is None:
+        failures.append("coalesce row missing wal_syncs/writes fields")
+    else:
+        print(f"threads={threads}: coalesce issued {syncs:.0f} fsyncs for "
+              f"{writes:.0f} writes ({syncs / max(writes, 1):.3f} syncs/write)")
+        if syncs >= writes:
+            failures.append(f"wal_syncs ({syncs:.0f}) not below writes ({writes:.0f}) "
+                            "— no fsync sharing happened")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("PASS: group commit shares fsyncs and beats per-writer fsync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

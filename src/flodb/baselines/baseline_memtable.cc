@@ -29,6 +29,18 @@ uint64_t ExtractSeq(const Slice& internal_key) {
   return ~inv;
 }
 
+int InternalKeyCompare(const Slice& a, const Slice& b) {
+  if (a.size() < 8 || b.size() < 8) {
+    // Sentinel keys (the skiplist head's empty key) have no suffix.
+    return a.compare(b);
+  }
+  const int c = ExtractUserKey(a).compare(ExtractUserKey(b));
+  if (c != 0) {
+    return c;
+  }
+  return memcmp(a.data() + a.size() - 8, b.data() + b.size() - 8, 8);
+}
+
 namespace {
 
 constexpr size_t kHashBuckets = 1 << 14;
@@ -63,7 +75,7 @@ class InternalSkipListIterator final : public Iterator {
 BaselineMemTable::BaselineMemTable(Kind kind, size_t target_bytes)
     : kind_(kind), target_bytes_(target_bytes), arena_(256u << 10) {
   if (kind_ == Kind::kSkipList) {
-    list_ = std::make_unique<ConcurrentSkipList>(&arena_);
+    list_ = std::make_unique<ConcurrentSkipList>(&arena_, 0x5eed, &InternalKeyCompare);
   } else {
     buckets_ = std::vector<HashBucket>(kHashBuckets);
   }

@@ -13,10 +13,12 @@
 //    (linearithmic), delaying writers when the active table fills while
 //    the immutable one is still being sorted/persisted (Figure 4).
 //
-// Versioned ordering uses internal keys = user_key + big-endian(~seq), so
-// raw byte comparison yields (user key asc, seq desc). This assumes no
-// user key is a strict prefix of another (true for the fixed-width keys
-// used throughout the evaluation); FloDB itself has no such restriction.
+// Versioned ordering uses internal keys = user_key + big-endian(~seq),
+// compared as TWO PARTS (user key bytewise, then the ~seq suffix, i.e.
+// seq descending) via the skiplist's pluggable comparator — raw byte
+// comparison would order variable-length user keys through the suffix
+// ("x" vs "x\0y") incorrectly. Arbitrary user keys are supported, same
+// as FloDB proper.
 
 #ifndef FLODB_BASELINES_BASELINE_MEMTABLE_H_
 #define FLODB_BASELINES_BASELINE_MEMTABLE_H_
@@ -38,6 +40,11 @@ namespace flodb {
 void AppendInternalKey(std::string* dst, const Slice& user_key, uint64_t seq);
 Slice ExtractUserKey(const Slice& internal_key);
 uint64_t ExtractSeq(const Slice& internal_key);
+
+// Two-part internal-key order: user keys bytewise ascending, then seq
+// descending (the ~seq suffix compares bytewise). Total and consistent
+// with byte equality, as the skiplist comparator contract requires.
+int InternalKeyCompare(const Slice& a, const Slice& b);
 
 class BaselineMemTable {
  public:

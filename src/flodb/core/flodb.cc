@@ -6,6 +6,7 @@
 #include "flodb/core/flodb.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <thread>
 
@@ -140,23 +141,53 @@ Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
   }
 
   // One WAL record for the whole batch — the group-commit amortization,
-  // and the unit of all-or-nothing crash recovery.
+  // and the unit of all-or-nothing crash recovery. WalCommit runs the
+  // writer queue: one leader appends every queued record and one Sync
+  // covers all the group's sync writers (DESIGN.md §10). On success this
+  // writer holds an apply token that the persist thread's pre-swap drain
+  // waits on; it must be released on every path out of the apply loop.
+  int token_slot = -1;
   if (options_.enable_wal) {
-    std::lock_guard<std::mutex> lock(wal_mu_);
-    s = wal_->AddBatch(static_cast<uint32_t>(batch->Count()), Slice(batch->rep()));
-    if (s.ok() && options.sync) {
-      s = wal_->Sync();
+    // Memtable backpressure happens HERE, before the WAL commit, while
+    // this writer holds no apply token: once committed, the apply below
+    // must not block (the persist thread's pre-swap drain waits on the
+    // token). The hard cap is 2x the Memtable target — the soft
+    // OverTarget threshold keeps triggering persists early, and during a
+    // persist outage writes stall at the cap instead of growing memory
+    // without bound.
+    while (true) {
+      size_t memtable_bytes;
+      {
+        RcuReadGuard guard(rcu_);
+        memtable_bytes = mtb_.load(std::memory_order_seq_cst)->ApproximateBytes();
+      }
+      if (memtable_bytes < 2 * memtable_target_bytes_) {
+        break;
+      }
+      TriggerPersist();
+      // Timed wait, not a spin: during a persist outage (AddRun retrying
+      // on backoff) stalled writers would otherwise peg their cores.
+      std::unique_lock<std::mutex> lock(persist_mu_);
+      persist_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
+    s = WalCommit(options, batch, &token_slot);
     if (!s.ok()) {
+      // This write failed for good; kick the repair path so FUTURE writes
+      // can succeed even in configurations without drain threads (the
+      // usual healer) — e.g. enable_membuffer = false.
+      TryReopenWal();
       return s;
     }
-    if (options.fill_stats) {
-      // Gated like the other batch counters so the amortization ratio
-      // (batch_entries / wal_batch_records) stays coherent when a caller
-      // suppresses stats.
-      wal_batch_records_.fetch_add(1, std::memory_order_relaxed);
-    }
   }
+  struct ApplyTokenRelease {
+    FloDB* db;
+    int slot;
+    ~ApplyTokenRelease() {
+      if (slot >= 0) {
+        db->inflight_wal_applies_[slot].fetch_sub(1, std::memory_order_release);
+      }
+    }
+  } token_release{this, token_slot};
 
   if (options.fill_stats) {
     batch_writes_.fetch_add(1, std::memory_order_relaxed);
@@ -211,10 +242,14 @@ Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
     }
 
     MemTable* mtb = mtb_.load(std::memory_order_seq_cst);
-    if (mtb->OverTarget()) {
-      rcu_.ReadUnlock();
+    if (mtb->OverTarget() && token_slot < 0) {
       // Wait for the persist thread to install a fresh Memtable (Alg. 2
-      // lines 17-18) — "typically a very short wait".
+      // lines 17-18) — "typically a very short wait". A writer holding a
+      // WAL apply token is exempt: the persist thread's pre-swap drain
+      // waits for its token, so blocking here would deadlock the pair.
+      // The overfill is bounded by one batch per concurrent writer, and
+      // the persist it triggers below reclaims it promptly.
+      rcu_.ReadUnlock();
       pending.swap(spill);
       TriggerPersist();
       std::this_thread::yield();
@@ -252,6 +287,125 @@ Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
     }
     return Status::OK();
   }
+}
+
+// The group-commit fsync pipeline (DESIGN.md §10), in the LevelDB
+// writer-queue mold. Every Write queues a WalWaiter; the queue's front is
+// the LEADER. The leader appends the batch record of every queued writer
+// (just its own when sync_coalesce is off), issues at most ONE Sync —
+// covering every sync writer in the group — then marks the whole group
+// done and hands leadership to the next queued writer. Concurrent sync
+// writers therefore share one fsync instead of serializing one each,
+// while followers never touch the file at all.
+Status FloDB::WalCommit(const WriteOptions& options, WriteBatch* batch, int* token_slot) {
+  WalWaiter me;
+  me.rep = Slice(batch->rep());
+  me.count = static_cast<uint32_t>(batch->Count());
+  me.sync = options.sync;
+  me.fill_stats = options.fill_stats;
+
+  std::unique_lock<std::mutex> lock(wal_mu_);
+  wal_queue_.push_back(&me);
+  wal_cv_.wait(lock, [&] { return me.done || wal_queue_.front() == &me; });
+  if (me.done) {
+    // A leader committed this batch as part of its group.
+    *token_slot = me.token_slot;
+    return me.status;
+  }
+
+  // Leader: snapshot the group. With coalescing off, take only this
+  // writer — that is exactly the pre-group-commit per-writer-fsync
+  // behavior (still serialized by queue order).
+  const size_t group_size = options_.sync_coalesce ? wal_queue_.size() : 1;
+  std::vector<WalWaiter*> group(wal_queue_.begin(),
+                                wal_queue_.begin() + static_cast<ptrdiff_t>(group_size));
+
+  // A broken WAL (failed rotation, or an earlier append/sync failure)
+  // fails the whole group: appending to a closed or half-written log
+  // would fake durability. Repair happens on the next drain cycle.
+  Status broken = wal_status_;
+  if (broken.ok() && wal_ == nullptr) {
+    broken = Status::IOError("WAL is not open");
+  }
+
+  size_t appended = 0;
+  bool group_has_sync = false;
+  Status append_error;
+  Status sync_error;
+  if (broken.ok()) {
+    // IO happens WITHOUT wal_mu_ — followers must be able to enqueue
+    // behind a slow fsync, or no group larger than one would ever form.
+    // wal_leader_busy_ keeps rotation/repair from swapping the log out
+    // from under us; the queue front keeps new arrivals followers.
+    WalWriter* wal = wal_.get();
+    wal_leader_busy_ = true;
+    lock.unlock();
+    for (WalWaiter* w : group) {
+      Status s = wal->AddBatch(w->count, w->rep);
+      if (!s.ok()) {
+        append_error = s;
+        break;
+      }
+      ++appended;
+      group_has_sync = group_has_sync || w->sync;
+    }
+    if (appended > 0 && group_has_sync) {
+      wal_syncs_.fetch_add(1, std::memory_order_relaxed);
+      sync_error = wal->Sync();
+    }
+    lock.lock();
+    wal_leader_busy_ = false;
+  }
+  if (!append_error.ok() || !sync_error.ok()) {
+    // Unknown tail state: stop accepting writes until the next drain
+    // cycle retires this log and opens a fresh one (TryReopenWal).
+    wal_status_ = append_error.ok() ? sync_error : append_error;
+    wal_broken_.store(true, std::memory_order_release);
+  }
+
+  // Commit results. A writer's record is durable-ordered once appended
+  // (and synced, if it asked): those take an apply token in the current
+  // epoch's slot — under wal_mu_, so a concurrent rotation either sees
+  // the token or has already moved the epoch past us. Sync writers whose
+  // fsync failed get the error and do NOT apply; their record may still
+  // replay after a crash, which is the usual contract for unacknowledged
+  // writes.
+  const int slot = static_cast<int>(wal_epoch_ & 1);
+  uint64_t committed = 0;
+  for (size_t i = 0; i < group.size(); ++i) {
+    WalWaiter* w = group[i];
+    if (!broken.ok()) {
+      w->status = broken;
+    } else if (i >= appended) {
+      w->status = append_error;
+    } else if (w->sync && !sync_error.ok()) {
+      w->status = sync_error;
+    } else {
+      w->status = Status::OK();
+      w->token_slot = slot;
+      ++committed;
+      inflight_wal_applies_[slot].fetch_add(1, std::memory_order_relaxed);
+      if (w->fill_stats) {
+        // Gated like the other batch counters so the amortization ratio
+        // (batch_entries / wal_batch_records) stays coherent when a
+        // caller suppresses stats.
+        wal_batch_records_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    w->done = true;
+  }
+  if (committed > 0) {
+    // Only committed writers count: an amortization ratio inflated by
+    // failed groups would read as great coalescing during an outage.
+    group_commit_groups_.fetch_add(1, std::memory_order_relaxed);
+    group_commit_writers_.fetch_add(committed, std::memory_order_relaxed);
+  }
+  wal_queue_.erase(wal_queue_.begin(), wal_queue_.begin() + static_cast<ptrdiff_t>(group_size));
+  lock.unlock();
+  // Wake the group's followers and the next leader.
+  wal_cv_.notify_all();
+  *token_slot = me.token_slot;
+  return me.status;
 }
 
 Status FloDB::Get(const ReadOptions& options, const Slice& key, std::string* value) {
@@ -366,6 +520,10 @@ StoreStats FloDB::GetStats() const {
   stats.master_scans = master_scans_.load(std::memory_order_relaxed);
   stats.piggyback_scans = piggyback_scans_.load(std::memory_order_relaxed);
   stats.membuffer_rotations = membuffer_rotations_.load(std::memory_order_relaxed);
+  stats.wal_syncs = wal_syncs_.load(std::memory_order_relaxed);
+  stats.group_commit_groups = group_commit_groups_.load(std::memory_order_relaxed);
+  stats.group_commit_writers = group_commit_writers_.load(std::memory_order_relaxed);
+  stats.persist_failures = persist_failures_.load(std::memory_order_relaxed);
   if (disk_ != nullptr) {
     stats.disk = disk_->GetStats();
   }

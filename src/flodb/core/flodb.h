@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -147,6 +148,36 @@ class FloDB final : public KVStore {
   void CleanupImmMembuffer(MemBuffer* old);
   bool HelpDrainChunk(MemBuffer* imm);
 
+  // ---- durability pipeline (DESIGN.md §10) ----
+
+  // One queued Write awaiting the group-commit leader. Lives on the
+  // writer's stack; `rep` points into the caller's WriteBatch.
+  struct WalWaiter {
+    Slice rep;
+    uint32_t count = 0;
+    bool sync = false;
+    bool fill_stats = true;
+    bool done = false;
+    int token_slot = -1;  // epoch slot of the apply token taken on success
+    Status status;
+  };
+
+  // Commits `batch` to the WAL through the writer queue: the leader
+  // appends every queued record and issues one Sync for the group's sync
+  // writers (per-writer Sync when sync_coalesce is off). On OK the caller
+  // holds an apply token in *token_slot and MUST release it (decrement
+  // inflight_wal_applies_[slot]) once the batch is applied to memory.
+  Status WalCommit(const WriteOptions& options, WriteBatch* batch, int* token_slot);
+
+  // Opens wal-<number> as the live log. REQUIRES wal_mu_ held. On failure
+  // the WAL stays broken (wal_ null, wal_status_ set) and writes fail.
+  Status OpenWalLocked(uint64_t number);
+
+  // Cheap probe called from the background loops: if the WAL is broken
+  // (failed rotation / failed append or sync), retire any half-dead
+  // writer and try to open a fresh log.
+  void TryReopenWal();
+
   Status RecoverFromWal();
   std::string WalFileName(uint64_t number) const;
 
@@ -194,10 +225,40 @@ class FloDB final : public KVStore {
   std::condition_variable persist_done_cv_;  // signals swap completed
   std::atomic<bool> force_persist_{false};
 
-  // WAL (only when options_.enable_wal).
+  // WAL (only when options_.enable_wal). wal_mu_ protects the writer
+  // queue, the live WalWriter, wal_number_, wal_epoch_, wal_status_ and
+  // retired_wals_. The queue's front is the group-commit leader; it does
+  // its IO holding wal_mu_, so rotation and appends never interleave.
+  // The leader drops wal_mu_ for the Append+Sync phase (so followers can
+  // keep enqueueing and form the next group behind a slow fsync) and
+  // raises wal_leader_busy_ instead; rotation and repair wait it out.
   std::mutex wal_mu_;
+  std::condition_variable wal_cv_;
+  std::deque<WalWaiter*> wal_queue_;
+  bool wal_leader_busy_ = false;
   std::unique_ptr<WalWriter> wal_;
   uint64_t wal_number_ = 0;
+  uint64_t wal_epoch_ = 0;  // rotations so far; parity picks the token slot
+  uint64_t last_wal_repair_nanos_ = 0;  // TryReopenWal churn backoff
+  Status wal_status_;       // non-OK: WAL broken, Write fails until repaired
+  std::atomic<bool> wal_broken_{false};  // lock-free mirror for repair probes
+
+  // Rotated-out logs whose generation has not persisted yet. At each
+  // rotation the persist thread moves the accumulated list into
+  // pending_wal_deletes_ (everything retired up to that epoch boundary is
+  // durable once THIS cycle's AddRun succeeds); a log retired mid-epoch —
+  // a broken WAL repaired by TryReopenWal — lands in retired_wals_ AFTER
+  // the snapshot and therefore waits for the NEXT cycle, because its
+  // records live in the still-unpersisted current Memtable.
+  std::vector<uint64_t> retired_wals_;
+  std::vector<uint64_t> pending_wal_deletes_;  // persist thread only
+
+  // Writers that committed to the WAL but have not finished applying to
+  // the memory component, by rotation-epoch parity. The persist thread
+  // drains the outgoing epoch's slot between rotating the log and
+  // swapping Memtables, which bounds every WAL record's landing
+  // generation and makes retired-log deletion safe.
+  std::atomic<uint64_t> inflight_wal_applies_[2] = {0, 0};
 
   std::vector<std::thread> drain_threads_;
   std::thread persist_thread_;
@@ -212,6 +273,9 @@ class FloDB final : public KVStore {
   mutable std::atomic<uint64_t> scan_restarts_{0}, fallback_scans_{0};
   mutable std::atomic<uint64_t> master_scans_{0}, piggyback_scans_{0};
   mutable std::atomic<uint64_t> membuffer_rotations_{0};
+  mutable std::atomic<uint64_t> wal_syncs_{0};
+  mutable std::atomic<uint64_t> group_commit_groups_{0}, group_commit_writers_{0};
+  mutable std::atomic<uint64_t> persist_failures_{0};
 };
 
 }  // namespace flodb

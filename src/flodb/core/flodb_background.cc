@@ -7,6 +7,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "flodb/common/clock.h"
 #include "flodb/core/flodb.h"
 #include "flodb/core/memtable_iterator.h"
 
@@ -81,6 +82,11 @@ void FloDB::DrainLoop() {
   uint64_t empty_passes = 0;
 
   while (!stop_.load(std::memory_order_relaxed)) {
+    // A broken WAL (failed rotation/append/fsync) heals here: each drain
+    // cycle retries opening a fresh log so writes resume without waiting
+    // for the next Memtable swap. Lock-free no-op when healthy.
+    TryReopenWal();
+
     if (pause_draining_.load(std::memory_order_seq_cst)) {
       std::this_thread::sleep_for(kDrainIdleSleep);
       continue;
@@ -219,7 +225,7 @@ void FloDB::PersistLoop() {
           return true;
         }
         if (imm_mtb_.load(std::memory_order_seq_cst) != nullptr) {
-          return false;  // previous persist still in flight
+          return true;  // a failed persist is pending retry below
         }
         MemTable* mtb = mtb_.load(std::memory_order_seq_cst);
         return mtb->OverTarget() ||
@@ -230,41 +236,121 @@ void FloDB::PersistLoop() {
       return;
     }
 
-    // Switch Memtables: an RCU pointer swap that blocks no one (§4.2).
-    MemTable* old = mtb_.load(std::memory_order_seq_cst);
-    imm_mtb_.store(old, std::memory_order_seq_cst);
-    mtb_.store(new MemTable(memtable_target_bytes_), std::memory_order_seq_cst);
-
-    // Rotate the WAL so the old log can be dropped once `old` is durable.
-    uint64_t old_wal = 0;
-    if (options_.enable_wal) {
-      std::lock_guard<std::mutex> lock(wal_mu_);
-      wal_->Sync();
-      wal_->Close();
-      old_wal = wal_number_;
-      ++wal_number_;
-      std::unique_ptr<WritableFile> file;
-      Status s = options_.disk.env->NewWritableFile(WalFileName(wal_number_), &file);
-      if (s.ok()) {
-        wal_ = std::make_unique<WalWriter>(std::move(file));
-      } else {
-        fprintf(stderr, "flodb: cannot rotate WAL: %s\n", s.ToString().c_str());
+    MemTable* old = imm_mtb_.load(std::memory_order_seq_cst);
+    if (old == nullptr) {
+      // ---- begin a new persist cycle ----
+      // 1. Rotate the WAL FIRST — the epoch boundary. Rotating before the
+      //    Memtable swap means a record appended to the NEW log can at
+      //    worst land in the OLD Memtable (which is about to persist, so
+      //    replaying it after a crash is a benign duplicate); the reverse
+      //    order would let old-log records land in the new, unpersisted
+      //    Memtable and be lost when the old log is deleted.
+      int drain_slot = -1;
+      if (options_.enable_wal) {
+        std::unique_lock<std::mutex> lock(wal_mu_);
+        // A group-commit leader may be mid-Append/Sync with wal_mu_
+        // dropped; swapping the log under it would tear the stream.
+        wal_cv_.wait(lock, [&] { return !wal_leader_busy_; });
+        if (wal_ != nullptr) {
+          // Best-effort: an unsynced tail holds only sync=false acks,
+          // which are allowed to be lost; AddRun below is what makes the
+          // generation durable.
+          wal_->Sync();
+          wal_->Close();
+          retired_wals_.push_back(wal_number_);
+          wal_.reset();
+        }
+        drain_slot = static_cast<int>(wal_epoch_ & 1);
+        ++wal_epoch_;  // writers from here on take the other token slot
+        // Epoch-boundary snapshot: every log retired up to HERE holds
+        // records of generations at or before the one this cycle
+        // persists, so they become deletable when its AddRun succeeds.
+        // Logs retired after this point (mid-epoch breaks) stay in
+        // retired_wals_ for the next cycle — their records live in the
+        // new, unpersisted generation.
+        pending_wal_deletes_.insert(pending_wal_deletes_.end(), retired_wals_.begin(),
+                                    retired_wals_.end());
+        retired_wals_.clear();
+        Status s = OpenWalLocked(wal_number_ + 1);
+        if (!s.ok()) {
+          // Satellite fix #1: the old behavior installed nothing and let
+          // later writes append to the closed writer. Now the WAL is
+          // marked broken (OpenWalLocked), Write fails with IOError, and
+          // the next drain cycle retries the rotation (TryReopenWal).
+          fprintf(stderr, "flodb: cannot rotate WAL (writes fail until repaired): %s\n",
+                  s.ToString().c_str());
+        }
       }
+
+      // 2. Drain the outgoing epoch's writers: everyone acked against the
+      //    retired log finishes applying BEFORE the swap, so every record
+      //    in a retired log lives in a generation at or before the one we
+      //    are about to persist. (Writers holding these tokens are exempt
+      //    from Memtable backpressure, so this wait is bounded.)
+      if (drain_slot >= 0) {
+        while (inflight_wal_applies_[drain_slot].load(std::memory_order_acquire) != 0) {
+          if (stop_.load(std::memory_order_relaxed)) {
+            return;
+          }
+          std::this_thread::yield();
+        }
+      }
+
+      // 3. Drain the Membuffer into the outgoing Memtable. An acked
+      //    record's entry may still be Membuffer-resident — the apply
+      //    token only covers its landing in the MEMORY COMPONENT, and
+      //    the background drain moves it to the Memtable later, possibly
+      //    into a generation AFTER the one whose persist deletes its
+      //    log. Forcing the drain here (the FlushAll pattern) pins every
+      //    pre-rotation entry into the generation this cycle persists,
+      //    which is what makes the retired-log deletion below sound.
+      //    WAL-less mode skips this and keeps the paper's fully
+      //    decoupled persist.
+      if (options_.enable_wal && options_.enable_membuffer) {
+        std::lock_guard<std::mutex> master(master_mu_);
+        pause_draining_.store(true, std::memory_order_seq_cst);
+        pause_writers_.store(true, std::memory_order_seq_cst);
+        MemBuffer* old_mbf = SwapAndDrainMembufferLocked();
+        pause_writers_.store(false, std::memory_order_seq_cst);
+        pause_draining_.store(false, std::memory_order_seq_cst);
+        CleanupImmMembuffer(old_mbf);
+      }
+
+      // 4. Switch Memtables: an RCU pointer swap that blocks no one
+      //    (§4.2).
+      old = mtb_.load(std::memory_order_seq_cst);
+      imm_mtb_.store(old, std::memory_order_seq_cst);
+      mtb_.store(new MemTable(memtable_target_bytes_), std::memory_order_seq_cst);
+      persist_done_cv_.notify_all();
+
+      // Grace period #1: all pending updates to `old` have completed
+      // before we copy it to disk.
+      rcu_.Synchronize();
     }
-    persist_done_cv_.notify_all();
+    // else: retrying a previously failed AddRun; `old` stayed installed
+    // as imm_mtb_ (still serving reads) and its WAL was retained.
 
-    // Grace period #1: all pending updates to `old` have completed before
-    // we copy it to disk.
-    rcu_.Synchronize();
-
+    Status persist_status;
     if (disk_ != nullptr) {
       MemTableIterator iter(old);
-      Status s = disk_->AddRun(&iter);
-      if (!s.ok() && !s.IsAborted()) {
-        fprintf(stderr, "flodb: persist failed: %s\n", s.ToString().c_str());
-      }
+      persist_status = disk_->AddRun(&iter);
     }
     // else: memory-component-only mode (Figure 17) — drop the data.
+
+    const bool aborted = persist_status.IsAborted();  // shutdown mid-stall
+    if (!persist_status.ok() && !aborted) {
+      // Satellite fix #2: a failed persist used to delete the old WAL
+      // anyway, dropping acknowledged data. Now the Memtable stays
+      // installed (readable) for a retry, and every retired log survives
+      // for recovery.
+      persist_failures_.fetch_add(1, std::memory_order_relaxed);
+      fprintf(stderr, "flodb: persist failed (will retry; WAL retained): %s\n",
+              persist_status.ToString().c_str());
+      std::unique_lock<std::mutex> lock(persist_mu_);
+      persist_work_cv_.wait_for(lock, std::chrono::milliseconds(10),
+                                [&] { return stop_.load(std::memory_order_relaxed); });
+      continue;
+    }
 
     imm_mtb_.store(nullptr, std::memory_order_seq_cst);
     persist_done_cv_.notify_all();
@@ -273,10 +359,62 @@ void FloDB::PersistLoop() {
     rcu_.Synchronize();
     delete old;
 
-    if (options_.enable_wal && old_wal != 0) {
-      options_.disk.env->RemoveFile(WalFileName(old_wal));
+    if (options_.enable_wal && !aborted) {
+      // Every record in a log snapshotted at this cycle's rotation
+      // reached a generation that has now persisted (the pre-swap epoch
+      // drain is what guarantees this). On Aborted the data never hit
+      // disk: keep the logs for the next recovery.
+      for (uint64_t number : pending_wal_deletes_) {
+        options_.disk.env->RemoveFile(WalFileName(number));
+      }
+      pending_wal_deletes_.clear();
     }
   }
+}
+
+Status FloDB::OpenWalLocked(uint64_t number) {
+  std::unique_ptr<WritableFile> file;
+  Status s = options_.disk.env->NewWritableFile(WalFileName(number), &file);
+  if (!s.ok()) {
+    wal_status_ = s;
+    wal_broken_.store(true, std::memory_order_release);
+    return s;
+  }
+  wal_number_ = number;
+  wal_ = std::make_unique<WalWriter>(std::move(file));
+  wal_status_ = Status::OK();
+  wal_broken_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+void FloDB::TryReopenWal() {
+  if (!options_.enable_wal || !wal_broken_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(wal_mu_);
+  wal_cv_.wait(lock, [&] { return !wal_leader_busy_; });
+  if (!wal_broken_.load(std::memory_order_acquire)) {
+    return;  // lost the race to another repairer
+  }
+  // Backoff: during a sustained fsync outage every failed write probes
+  // here, and each "successful" repair mints a fresh log whose first
+  // fsync breaks it again — without a floor that is one wal-*.log per
+  // failed write. One attempt per 50ms bounds the churn while keeping
+  // recovery sub-second once the device heals.
+  constexpr uint64_t kRepairBackoffNanos = 50ull * 1000 * 1000;
+  const uint64_t now = NowNanos();
+  if (now - last_wal_repair_nanos_ < kRepairBackoffNanos) {
+    return;
+  }
+  last_wal_repair_nanos_ = now;
+  if (wal_ != nullptr) {
+    // Broken mid-stream (failed append or fsync): retire the damaged log
+    // — its synced prefix still matters for recovery — and start fresh.
+    wal_->Close();
+    retired_wals_.push_back(wal_number_);
+    wal_.reset();
+  }
+  OpenWalLocked(wal_number_ + 1);
 }
 
 std::string FloDB::WalFileName(uint64_t number) const {
@@ -333,14 +471,8 @@ Status FloDB::RecoverFromWal() {
     env->RemoveFile(WalFileName(number));
   }
 
-  wal_number_ = wal_numbers.empty() ? 1 : wal_numbers.back() + 1;
-  std::unique_ptr<WritableFile> file;
-  Status s = env->NewWritableFile(WalFileName(wal_number_), &file);
-  if (!s.ok()) {
-    return s;
-  }
-  wal_ = std::make_unique<WalWriter>(std::move(file));
-  return Status::OK();
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return OpenWalLocked(wal_numbers.empty() ? 1 : wal_numbers.back() + 1);
 }
 
 }  // namespace flodb

@@ -11,12 +11,11 @@ namespace {
 
 // Streams a range by fetching bounded chunks through the store's
 // materializing Scan. Each fetch resumes AT the last returned key
-// (inclusive, asking for one extra entry) and drops the overlap — an
-// exclusive-bound emulation that works for any key encoding, unlike the
-// successor-key trick (k + '\0'), which trips stores whose internal-key
-// comparison appends suffixes to variable-length user keys. Each chunk is
-// its own snapshot, taken at fetch time — serializable per chunk, never
-// moving backwards (DESIGN.md §4).
+// (inclusive, asking for one extra entry) and drops the overlap — a
+// store-agnostic exclusive-bound emulation that needs no successor-key
+// (k + '\0') construction. Each chunk is its own snapshot, taken at
+// fetch time — serializable per chunk, never moving backwards
+// (DESIGN.md §4).
 class ChunkedScanIterator final : public ScanIterator {
  public:
   ChunkedScanIterator(KVStore* store, const ReadOptions& options, const Slice& low_key,

@@ -46,6 +46,12 @@ struct StoreStats {
   uint64_t wal_batch_records = 0; // WAL batch records appended
   uint64_t iterator_scans = 0;    // streaming iterators opened
 
+  // Durability pipeline (DESIGN.md §10; zero for stores without a WAL).
+  uint64_t wal_syncs = 0;             // fsyncs issued against the WAL
+  uint64_t group_commit_groups = 0;   // leader rounds through the writer queue
+  uint64_t group_commit_writers = 0;  // writers committed across those rounds
+  uint64_t persist_failures = 0;      // failed Memtable->disk persist attempts
+
   // FloDB-specific (zero for baselines).
   uint64_t membuffer_adds = 0;      // updates completed in the Membuffer
   uint64_t memtable_direct_adds = 0;  // updates that spilled to the Memtable
@@ -86,8 +92,11 @@ struct ReadOptions {
 
 struct WriteOptions {
   // Fsync the WAL before Write returns (group commit makes this
-  // affordable: one fsync covers the whole batch). No-op for stores
-  // without a WAL.
+  // affordable: one fsync covers the whole batch, and with
+  // FloDbOptions::sync_coalesce every concurrently queued sync writer —
+  // see DESIGN.md §10). Only FloDB with enable_wal honors it: the
+  // baseline stores have no WAL, so for them sync=true is an explicit
+  // no-op and provides NO crash durability.
   bool sync = false;
 
   // Update the store's per-operation counters.

@@ -58,6 +58,13 @@ struct FloDbOptions {
   // appends; off by default like the paper's benchmarks.
   bool enable_wal = false;
 
+  // Group commit for `WriteOptions::sync` (DESIGN.md §10): the writer
+  // queue's leader issues ONE fsync covering every queued sync writer.
+  // Off = the pre-group-commit behavior, one fsync per sync writer,
+  // serialized — kept as a knob for fig_sync_write's A/B and as an
+  // escape hatch. Ignored when enable_wal is false.
+  bool sync_coalesce = true;
+
   // Range-partitioning across independent FloDB instances
   // (ShardedKVStore::Open; DESIGN.md §8). 1 (the default) is exactly
   // today's single-instance behavior. Values < 1 are rejected; a

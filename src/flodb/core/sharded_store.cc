@@ -354,6 +354,10 @@ StoreStats ShardedKVStore::GetStats() const {
     total.master_scans += s.master_scans;
     total.piggyback_scans += s.piggyback_scans;
     total.membuffer_rotations += s.membuffer_rotations;
+    total.wal_syncs += s.wal_syncs;
+    total.group_commit_groups += s.group_commit_groups;
+    total.group_commit_writers += s.group_commit_writers;
+    total.persist_failures += s.persist_failures;
     total.disk.bytes_flushed += s.disk.bytes_flushed;
     total.disk.bytes_compacted_in += s.disk.bytes_compacted_in;
     total.disk.bytes_compacted_out += s.disk.bytes_compacted_out;

@@ -1,0 +1,216 @@
+#include "flodb/disk/fault_env.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace flodb {
+
+// Forwards writes to the base file while reporting every append and sync
+// to the owning env, which decides what actually happens (full write,
+// torn prefix, injected error) and keeps the durability bookkeeping.
+class FaultInjectionWritableFile final : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env, std::string fname,
+                             std::unique_ptr<WritableFile> base)
+      : env_(env), fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Append(const Slice& data) override {
+    size_t allowed = data.size();
+    {
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      ++env_->append_count_;
+      if (env_->appends_broken_) {
+        return Status::IOError("injected append failure (latched)");
+      }
+      if (env_->appends_until_fail_ == 0) {
+        env_->appends_broken_ = true;
+        // A torn write puts half the data on the device before dying —
+        // the classic mid-record power cut.
+        allowed = env_->torn_append_ ? data.size() / 2 : 0;
+      } else if (env_->appends_until_fail_ > 0) {
+        --env_->appends_until_fail_;
+      }
+    }
+    if (allowed < data.size()) {
+      if (allowed > 0) {
+        Status s = base_->Append(Slice(data.data(), allowed));
+        if (s.ok()) {
+          std::lock_guard<std::mutex> lock(env_->mu_);
+          env_->files_[fname_].size += allowed;
+        }
+      }
+      return Status::IOError("injected append failure");
+    }
+    Status s = base_->Append(data);
+    if (s.ok()) {
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      env_->files_[fname_].size += data.size();
+    }
+    return s;
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    int delay_micros;
+    uint64_t size_at_sync;
+    {
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      ++env_->sync_count_;
+      delay_micros = env_->sync_delay_micros_;
+      if (env_->fail_syncs_) {
+        return Status::IOError("injected sync failure");
+      }
+      // Snapshot NOW (LevelDB's pos_at_last_sync): bytes appended while
+      // the sync is in flight are not covered by it and must stay
+      // droppable.
+      size_at_sync = env_->files_[fname_].size;
+    }
+    if (delay_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+    }
+    Status s = base_->Sync();
+    if (s.ok()) {
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      FaultInjectionEnv::FileState& state = env_->files_[fname_];
+      state.synced = std::max(state.synced, size_at_sync);
+    }
+    return s;
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string fname_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+Status FaultInjectionEnv::NewWritableFile(const std::string& fname,
+                                          std::unique_ptr<WritableFile>* result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fail_new_writable_ && (fail_new_writable_substr_.empty() ||
+                               fname.find(fail_new_writable_substr_) != std::string::npos)) {
+      return Status::IOError("injected NewWritableFile failure: " + fname);
+    }
+  }
+  std::unique_ptr<WritableFile> base_file;
+  Status s = base_->NewWritableFile(fname, &base_file);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    // Creation truncates, so tracking restarts at zero; nothing of this
+    // file is durable until its first Sync.
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[fname] = FileState{};
+  }
+  *result = std::make_unique<FaultInjectionWritableFile>(this, fname, std::move(base_file));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  Status s = base_->RemoveFile(fname);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.erase(fname);
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src, const std::string& target) {
+  Status s = base_->RenameFile(src, target);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(src);
+    if (it != files_.end()) {
+      files_[target] = it->second;
+      files_.erase(it);
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::DropUnsyncedFileData() {
+  std::map<std::string, FileState> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = files_;
+  }
+  for (auto& [fname, state] : snapshot) {
+    if (state.synced == state.size) {
+      continue;  // fully durable
+    }
+    if (state.synced == 0) {
+      // Never synced since creation: after a power cut the file may not
+      // exist at all — model the worst case.
+      base_->RemoveFile(fname);
+      std::lock_guard<std::mutex> lock(mu_);
+      files_.erase(fname);
+      continue;
+    }
+    std::string data;
+    Status s = ReadFileToString(base_, fname, &data);
+    if (!s.ok()) {
+      return s;
+    }
+    if (data.size() > state.synced) {
+      data.resize(state.synced);
+    }
+    s = WriteStringToFile(base_, Slice(data), fname, /*sync=*/false);
+    if (!s.ok()) {
+      return s;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[fname].size = state.synced;
+    files_[fname].synced = state.synced;
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::FailNewWritableFiles(bool enabled, const std::string& substr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_new_writable_ = enabled;
+  fail_new_writable_substr_ = substr;
+}
+
+void FaultInjectionEnv::FailAppendAfter(uint64_t n, bool torn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  appends_until_fail_ = static_cast<int64_t>(n);
+  torn_append_ = torn;
+  appends_broken_ = false;
+}
+
+void FaultInjectionEnv::FailSyncs(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_syncs_ = enabled;
+}
+
+void FaultInjectionEnv::SetSyncDelayMicros(int micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_delay_micros_ = micros;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_new_writable_ = false;
+  fail_new_writable_substr_.clear();
+  appends_until_fail_ = -1;
+  torn_append_ = false;
+  appends_broken_ = false;
+  fail_syncs_ = false;
+}
+
+uint64_t FaultInjectionEnv::sync_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_count_;
+}
+
+uint64_t FaultInjectionEnv::append_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return append_count_;
+}
+
+}  // namespace flodb

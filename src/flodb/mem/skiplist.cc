@@ -38,8 +38,9 @@ struct ConcurrentSkipList::Node {
   }
 };
 
-ConcurrentSkipList::ConcurrentSkipList(ConcurrentArena* arena, uint64_t level_seed)
-    : arena_(arena), level_seed_(level_seed) {
+ConcurrentSkipList::ConcurrentSkipList(ConcurrentArena* arena, uint64_t level_seed,
+                                       KeyComparator cmp)
+    : arena_(arena), cmp_(cmp), level_seed_(level_seed) {
   head_ = MakeNode(Slice(), nullptr, kMaxLevel - 1);
   for (int i = 0; i < kMaxLevel; ++i) {
     head_->next(i).store(nullptr, std::memory_order_relaxed);
@@ -94,12 +95,12 @@ bool ConcurrentSkipList::FindFromPreds(const Slice& key, Node** preds, Node** su
     // are never unlinked.
     Node* hint = preds[level];
     if (hint != head_ && hint != pred) {
-      if (pred == head_ || hint->key().compare(pred->key()) > 0) {
+      if (pred == head_ || Compare(hint->key(), pred->key()) > 0) {
         pred = hint;
       }
     }
     Node* curr = pred->next(level).load(std::memory_order_acquire);
-    while (curr != nullptr && curr->key().compare(key) < 0) {
+    while (curr != nullptr && Compare(curr->key(), key) < 0) {
       pred = curr;
       curr = curr->next(level).load(std::memory_order_acquire);
     }
@@ -187,7 +188,7 @@ size_t ConcurrentSkipList::MultiInsert(std::span<const BatchEntry> entries) {
   size_t linked = 0;
 #ifndef NDEBUG
   for (size_t i = 1; i < entries.size(); ++i) {
-    assert(entries[i - 1].key.compare(entries[i].key) <= 0 && "batch must be sorted");
+    assert(Compare(entries[i - 1].key, entries[i].key) <= 0 && "batch must be sorted");
   }
 #endif
   for (const BatchEntry& e : entries) {
@@ -203,7 +204,7 @@ bool ConcurrentSkipList::Get(const Slice& key, std::string* value, uint64_t* seq
   const Node* node = head_;
   for (int level = kMaxLevel - 1; level >= 0; --level) {
     const Node* curr = node->next(level).load(std::memory_order_acquire);
-    while (curr != nullptr && curr->key().compare(key) < 0) {
+    while (curr != nullptr && Compare(curr->key(), key) < 0) {
       node = curr;
       curr = curr->next(level).load(std::memory_order_acquire);
     }
@@ -236,7 +237,7 @@ void ConcurrentSkipList::Iterator::Seek(const Slice& target) {
   const Node* pred = list_->head_;
   for (int level = kMaxLevel - 1; level >= 0; --level) {
     const Node* curr = pred->next(level).load(std::memory_order_acquire);
-    while (curr != nullptr && curr->key().compare(target) < 0) {
+    while (curr != nullptr && list_->Compare(curr->key(), target) < 0) {
       pred = curr;
       curr = curr->next(level).load(std::memory_order_acquire);
     }

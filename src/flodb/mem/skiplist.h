@@ -44,6 +44,14 @@ class ConcurrentSkipList {
  public:
   static constexpr int kMaxLevel = 16;
 
+  // Three-way key order; nullptr (the default) is raw bytewise
+  // Slice::compare. A custom comparator must be a total order that agrees
+  // with byte equality (cmp(a, b) == 0 iff a and b are byte-identical) —
+  // the baseline stores use this to compare (user_key, ~seq) internal
+  // keys as two parts, which raw bytes get wrong for variable-length
+  // user keys ("x" vs "x\0y").
+  using KeyComparator = int (*)(const Slice& a, const Slice& b);
+
   // One entry of a multi-insert batch. Keys need not be owned beyond the
   // call; bytes are copied into the arena.
   struct BatchEntry {
@@ -55,7 +63,8 @@ class ConcurrentSkipList {
 
   struct Node;
 
-  explicit ConcurrentSkipList(ConcurrentArena* arena, uint64_t level_seed = 0x5eed);
+  explicit ConcurrentSkipList(ConcurrentArena* arena, uint64_t level_seed = 0x5eed,
+                              KeyComparator cmp = nullptr);
 
   ConcurrentSkipList(const ConcurrentSkipList&) = delete;
   ConcurrentSkipList& operator=(const ConcurrentSkipList&) = delete;
@@ -113,6 +122,10 @@ class ConcurrentSkipList {
  private:
   friend class Iterator;
 
+  int Compare(const Slice& a, const Slice& b) const {
+    return cmp_ != nullptr ? cmp_(a, b) : a.compare(b);
+  }
+
   ValueCell* MakeCell(const Slice& value, uint64_t seq, ValueType type);
   Node* MakeNode(const Slice& key, ValueCell* cell, int top_level);
   int RandomLevel();
@@ -131,6 +144,7 @@ class ConcurrentSkipList {
   static void UpdateCellMaxSeq(Node* node, ValueCell* cell);
 
   ConcurrentArena* const arena_;
+  const KeyComparator cmp_;
   Node* head_;
   std::atomic<size_t> count_{0};
   std::atomic<size_t> bytes_{0};

@@ -60,6 +60,49 @@ TEST_P(BaselineStoreTest, PutGetDelete) {
   EXPECT_TRUE(store_->Get(Slice(K(1)), &value).IsNotFound());
 }
 
+TEST_P(BaselineStoreTest, VariableLengthKeysScanInUserKeyOrder) {
+  // Regression for the internal-key comparator (DESIGN.md §10 era fix):
+  // a key and a NUL-extension of it ("x" vs "x\0y") must order by user
+  // key across Get, Scan and the streaming iterator — through the
+  // memtable AND after a flush to disk.
+  Open();
+  const std::string k_short("x");
+  const std::string k_nul_ext(std::string("x") + '\0' + 'y');
+  const std::string k_ext("xa");
+  ASSERT_TRUE(store_->Put(Slice(k_ext), Slice("v-ext")).ok());
+  ASSERT_TRUE(store_->Put(Slice(k_short), Slice("v-short")).ok());
+  ASSERT_TRUE(store_->Put(Slice(k_nul_ext), Slice("v-nul")).ok());
+  ASSERT_TRUE(store_->Put(Slice(k_short), Slice("v-short2")).ok());
+
+  for (const bool flushed : {false, true}) {
+    if (flushed) {
+      ASSERT_TRUE(store_->FlushAll().ok());
+    }
+    std::string value;
+    ASSERT_TRUE(store_->Get(Slice(k_short), &value).ok()) << "flushed=" << flushed;
+    EXPECT_EQ(value, "v-short2");
+    ASSERT_TRUE(store_->Get(Slice(k_nul_ext), &value).ok()) << "flushed=" << flushed;
+    EXPECT_EQ(value, "v-nul");
+
+    std::vector<std::pair<std::string, std::string>> out;
+    ASSERT_TRUE(store_->Scan(Slice("w"), Slice("y"), 0, &out).ok());
+    ASSERT_EQ(out.size(), 3u) << "flushed=" << flushed;
+    EXPECT_EQ(out[0].first, k_short);
+    EXPECT_EQ(out[0].second, "v-short2");
+    EXPECT_EQ(out[1].first, k_nul_ext);
+    EXPECT_EQ(out[2].first, k_ext);
+
+    auto iter = store_->NewScanIterator(ReadOptions(), Slice("w"), Slice("y"));
+    std::vector<std::string> streamed;
+    for (; iter->Valid(); iter->Next()) {
+      streamed.push_back(iter->key().ToString());
+    }
+    ASSERT_TRUE(iter->status().ok());
+    EXPECT_EQ(streamed, (std::vector<std::string>{k_short, k_nul_ext, k_ext}))
+        << "flushed=" << flushed;
+  }
+}
+
 TEST_P(BaselineStoreTest, OverwriteKeepsLatest) {
   Open();
   for (int i = 0; i < 100; ++i) {

@@ -15,6 +15,7 @@
 #include "flodb/bench_util/workload.h"
 #include "flodb/common/key_codec.h"
 #include "flodb/core/flodb.h"
+#include "flodb/disk/fault_env.h"
 #include "flodb/disk/mem_env.h"
 
 namespace flodb {
@@ -25,7 +26,7 @@ using bench::SpreadKey;
 constexpr uint64_t kSpace = 1 << 20;
 std::string K(uint64_t i) { return EncodeKey(SpreadKey(i, kSpace)); }
 
-FloDbOptions StressOptions(MemEnv* env) {
+FloDbOptions StressOptions(Env* env) {
   FloDbOptions options;
   options.memory_budget_bytes = 512 << 10;  // small: forces constant persists
   options.drain_threads = 1;
@@ -315,6 +316,59 @@ TEST(FloDBConcurrentTest, SustainedOverloadKeepsAllAcknowledgedWrites) {
       const uint64_t key = static_cast<uint64_t>(t) * kPerThread + i;
       ASSERT_TRUE(db->Get(Slice(K(key)), &value).ok()) << "lost write " << key;
       EXPECT_EQ(value[0], static_cast<char>('a' + t));
+    }
+  }
+}
+
+TEST(FloDBConcurrentTest, GroupCommitCoalescesConcurrentSyncWriters) {
+  // N sync=true writers race through the WAL writer queue (DESIGN.md
+  // §10). With a realistic fsync latency, writers pile up behind the
+  // leader's Sync and commit in groups — the whole point of group
+  // commit: far fewer fsyncs than writes, with every write still
+  // readable afterwards. Runs under TSan via the `concurrent` label.
+  MemEnv base;
+  FaultInjectionEnv fault(&base);
+  fault.SetSyncDelayMicros(500);
+  FloDbOptions options = StressOptions(&fault);
+  options.memory_budget_bytes = 4 << 20;  // roomy: no persist churn mid-test
+  options.enable_wal = true;
+  std::unique_ptr<FloDB> db;
+  ASSERT_TRUE(FloDB::Open(options, &db).ok());
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      WriteOptions synced;
+      synced.sync = true;
+      for (uint64_t i = 0; i < kPerThread && !failed.load(); ++i) {
+        const uint64_t key = 500'000 + static_cast<uint64_t>(t) * 1000 + i;
+        if (!db->Put(synced, Slice(K(key)), Slice(std::to_string(i))).ok()) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  ASSERT_FALSE(failed.load());
+
+  const StoreStats stats = db->GetStats();
+  const uint64_t writes = kThreads * kPerThread;
+  EXPECT_EQ(stats.group_commit_writers, writes);
+  EXPECT_GE(stats.group_commit_writers, stats.group_commit_groups);
+  EXPECT_GE(stats.wal_syncs, 1u);
+  EXPECT_LE(stats.wal_syncs, writes / 2)
+      << "concurrent sync writers must share fsyncs, not issue one each";
+
+  std::string value;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      const uint64_t key = 500'000 + static_cast<uint64_t>(t) * 1000 + i;
+      ASSERT_TRUE(db->Get(Slice(K(key)), &value).ok()) << "thread " << t << " op " << i;
     }
   }
 }
