@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate the price of cross-shard atomicity: for every (threads, batch)
+cell with batch >= MIN_BATCH, FloDB-sharded-2pc must hold at least
+(1 - MAX_OVERHEAD) of FloDB-sharded-legacy's entries/s, and the 2pc rows
+must actually have committed transactions (txn_commits > 0), proving the
+two-phase path ran rather than every batch sneaking down the single-shard
+fast path.
+
+Usage:
+    check_2pc_overhead.py BENCH_fig_batch_write.json [--max-overhead 0.15]
+        [--min-batch 64]
+
+Consumes the --json output of bench/fig_batch_write (rows keyed by store
+"FloDB-sharded-2pc" / "FloDB-sharded-legacy", threads and batch). The
+comparison is SELF-RELATIVE — both columns run in the same process on the
+same runner — so it is immune to runner-generation throughput swings that
+the absolute baselines must absorb. Small batches are exempt: at batch=1
+the prepare+marker round trip is the whole write, and the knob exists
+precisely because large batches amortize it.
+
+Stdlib only: CI must not pip install anything.
+"""
+
+import argparse
+import json
+import sys
+
+ATOMIC = "FloDB-sharded-2pc"
+LEGACY = "FloDB-sharded-legacy"
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("--max-overhead", type=float, default=0.15,
+                        help="max fractional 2pc slowdown vs legacy at "
+                             "batch >= min-batch (default 0.15)")
+    parser.add_argument("--min-batch", type=int, default=64,
+                        help="smallest batch size the gate applies to (default 64)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        rows[(row.get("store"), row.get("threads"), row.get("batch"))] = row
+
+    cells = sorted((t, b) for (store, t, b) in rows
+                   if store == ATOMIC and (LEGACY, t, b) in rows
+                   and b is not None and b >= args.min_batch)
+    if not cells:
+        print(f"FAIL: no (threads, batch >= {args.min_batch}) cell present for "
+              "both sharded columns — did the bench run with FLODB_BENCH_SHARDS > 1?")
+        return 1
+
+    floor = 1.0 - args.max_overhead
+    failures = []
+    for threads, batch in cells:
+        atomic = rows[(ATOMIC, threads, batch)]
+        legacy = rows[(LEGACY, threads, batch)]
+        ratio = atomic["mops"] / legacy["mops"] if legacy["mops"] > 0 else float("inf")
+        print(f"threads={threads} batch={batch}: 2pc {atomic['mops']:.4f} Mops vs "
+              f"legacy {legacy['mops']:.4f} Mops -> {ratio:.2f}x (need >= {floor:.2f}x)")
+        if ratio < floor:
+            failures.append(f"threads={threads} batch={batch}: 2pc at {ratio:.2f}x "
+                            f"of legacy, below the {floor:.2f}x floor")
+        if atomic.get("txn_commits", 0) <= 0:
+            failures.append(f"threads={threads} batch={batch}: 2pc row has no "
+                            "committed transactions — the atomic path never ran")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"PASS: {len(cells)} cell(s) — cross-shard 2pc costs <= "
+          f"{args.max_overhead:.0%} vs legacy at batch >= {args.min_batch}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,13 +27,6 @@ size_t ComputeMemtableTarget(const FloDbOptions& options) {
   return target < kMinMemtableTarget ? kMinMemtableTarget : target;
 }
 
-// A batch entry decoded once per Write; slices point into the batch rep.
-struct BatchEntryRef {
-  Slice key;
-  Slice value;
-  ValueType type;
-};
-
 }  // namespace
 
 FloDB::FloDB(const FloDbOptions& options)
@@ -118,6 +111,31 @@ FloDB::~FloDB() {
   delete imm_mtb_.load(std::memory_order_relaxed);
 }
 
+void FloDB::WaitForMemtableHeadroom() {
+  // Memtable backpressure happens HERE, before the WAL commit, while
+  // this writer holds no apply token: once committed, the apply below
+  // must not block (the persist thread's pre-swap drain waits on the
+  // token). The hard cap is 2x the Memtable target — the soft
+  // OverTarget threshold keeps triggering persists early, and during a
+  // persist outage writes stall at the cap instead of growing memory
+  // without bound.
+  while (true) {
+    size_t memtable_bytes;
+    {
+      RcuReadGuard guard(rcu_);
+      memtable_bytes = mtb_.load(std::memory_order_seq_cst)->ApproximateBytes();
+    }
+    if (memtable_bytes < 2 * memtable_target_bytes_) {
+      break;
+    }
+    TriggerPersist();
+    // Timed wait, not a spin: during a persist outage (AddRun retrying
+    // on backoff) stalled writers would otherwise peg their cores.
+    std::unique_lock<std::mutex> lock(persist_mu_);
+    persist_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
 Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
   if (batch == nullptr) {
     return Status::InvalidArgument("null write batch");
@@ -125,6 +143,77 @@ Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
   if (batch->Empty()) {
     return Status::OK();
   }
+
+  // One WAL record for the whole batch — the group-commit amortization,
+  // and the unit of all-or-nothing crash recovery. WalCommit runs the
+  // writer queue: one leader appends every queued record and one Sync
+  // covers all the group's sync writers (DESIGN.md §10). On success this
+  // writer holds an apply token that the persist thread's pre-swap drain
+  // waits on; ApplyBatchToMemory releases it on every path out.
+  int token_slot = -1;
+  if (options_.enable_wal) {
+    // Validate the rep BEFORE logging it: a malformed batch must fail
+    // here, not poison the WAL for the next recovery.
+    Status s = batch->ForEach([](const Slice&, const Slice&, ValueType) {});
+    if (!s.ok()) {
+      return s;
+    }
+    WaitForMemtableHeadroom();
+    s = WalCommit(options, batch, &token_slot);
+    if (!s.ok()) {
+      // This write failed for good; kick the repair path so FUTURE writes
+      // can succeed even in configurations without drain threads (the
+      // usual healer) — e.g. enable_membuffer = false.
+      TryReopenWal();
+      return s;
+    }
+  }
+  return ApplyBatchToMemory(options, batch, token_slot);
+}
+
+Status FloDB::PrepareBatch(const WriteOptions& options, WriteBatch* batch, uint64_t txn_id,
+                           const Slice& participants, int* token_slot) {
+  *token_slot = -1;
+  if (batch == nullptr || batch->Empty()) {
+    return Status::InvalidArgument("cross-shard prepare requires a non-empty batch");
+  }
+  if (!options_.enable_wal) {
+    return Status::InvalidArgument("cross-shard prepare requires enable_wal");
+  }
+  Status v = batch->ForEach([](const Slice&, const Slice&, ValueType) {});
+  if (!v.ok()) {
+    return v;
+  }
+  WaitForMemtableHeadroom();
+  Status s = WalCommit(options, batch, token_slot, txn_id, participants);
+  if (!s.ok()) {
+    TryReopenWal();
+  }
+  return s;
+}
+
+Status FloDB::ApplyPreparedBatch(const WriteOptions& options, WriteBatch* batch,
+                                 int token_slot) {
+  return ApplyBatchToMemory(options, batch, token_slot);
+}
+
+void FloDB::AbandonPrepare(int token_slot) {
+  if (token_slot >= 0) {
+    inflight_wal_applies_[token_slot].fetch_sub(1, std::memory_order_release);
+  }
+}
+
+Status FloDB::ApplyBatchToMemory(const WriteOptions& options, WriteBatch* batch,
+                                 int token_slot) {
+  struct ApplyTokenRelease {
+    FloDB* db;
+    int slot;
+    ~ApplyTokenRelease() {
+      if (slot >= 0) {
+        db->inflight_wal_applies_[slot].fetch_sub(1, std::memory_order_release);
+      }
+    }
+  } token_release{this, token_slot};
 
   // Decode once up front; every retry round below reuses the refs.
   thread_local std::vector<BatchEntryRef> entries;
@@ -139,55 +228,6 @@ Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
   if (!s.ok()) {
     return s;
   }
-
-  // One WAL record for the whole batch — the group-commit amortization,
-  // and the unit of all-or-nothing crash recovery. WalCommit runs the
-  // writer queue: one leader appends every queued record and one Sync
-  // covers all the group's sync writers (DESIGN.md §10). On success this
-  // writer holds an apply token that the persist thread's pre-swap drain
-  // waits on; it must be released on every path out of the apply loop.
-  int token_slot = -1;
-  if (options_.enable_wal) {
-    // Memtable backpressure happens HERE, before the WAL commit, while
-    // this writer holds no apply token: once committed, the apply below
-    // must not block (the persist thread's pre-swap drain waits on the
-    // token). The hard cap is 2x the Memtable target — the soft
-    // OverTarget threshold keeps triggering persists early, and during a
-    // persist outage writes stall at the cap instead of growing memory
-    // without bound.
-    while (true) {
-      size_t memtable_bytes;
-      {
-        RcuReadGuard guard(rcu_);
-        memtable_bytes = mtb_.load(std::memory_order_seq_cst)->ApproximateBytes();
-      }
-      if (memtable_bytes < 2 * memtable_target_bytes_) {
-        break;
-      }
-      TriggerPersist();
-      // Timed wait, not a spin: during a persist outage (AddRun retrying
-      // on backoff) stalled writers would otherwise peg their cores.
-      std::unique_lock<std::mutex> lock(persist_mu_);
-      persist_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
-    }
-    s = WalCommit(options, batch, &token_slot);
-    if (!s.ok()) {
-      // This write failed for good; kick the repair path so FUTURE writes
-      // can succeed even in configurations without drain threads (the
-      // usual healer) — e.g. enable_membuffer = false.
-      TryReopenWal();
-      return s;
-    }
-  }
-  struct ApplyTokenRelease {
-    FloDB* db;
-    int slot;
-    ~ApplyTokenRelease() {
-      if (slot >= 0) {
-        db->inflight_wal_applies_[slot].fetch_sub(1, std::memory_order_release);
-      }
-    }
-  } token_release{this, token_slot};
 
   if (options.fill_stats) {
     batch_writes_.fetch_add(1, std::memory_order_relaxed);
@@ -297,12 +337,23 @@ Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
 // done and hands leadership to the next queued writer. Concurrent sync
 // writers therefore share one fsync instead of serializing one each,
 // while followers never touch the file at all.
-Status FloDB::WalCommit(const WriteOptions& options, WriteBatch* batch, int* token_slot) {
+Status FloDB::WalCommit(const WriteOptions& options, WriteBatch* batch, int* token_slot,
+                        uint64_t txn_id, const Slice& participants) {
   WalWaiter me;
   me.rep = Slice(batch->rep());
   me.count = static_cast<uint32_t>(batch->Count());
   me.sync = options.sync;
   me.fill_stats = options.fill_stats;
+  if (txn_id != 0) {
+    // Cross-shard prepare: the record carries the txn header, and it is
+    // ALWAYS fsync'd regardless of options.sync — the router's commit
+    // marker implies every participant's prepare is durable, so a marker
+    // must never reach disk ahead of this record.
+    me.prepare = true;
+    me.txn_id = txn_id;
+    me.participants = participants;
+    me.sync = true;
+  }
 
   std::unique_lock<std::mutex> lock(wal_mu_);
   wal_queue_.push_back(&me);
@@ -341,7 +392,8 @@ Status FloDB::WalCommit(const WriteOptions& options, WriteBatch* batch, int* tok
     wal_leader_busy_ = true;
     lock.unlock();
     for (WalWaiter* w : group) {
-      Status s = wal->AddBatch(w->count, w->rep);
+      Status s = w->prepare ? wal->AddPrepare(w->txn_id, w->participants, w->count, w->rep)
+                            : wal->AddBatch(w->count, w->rep);
       if (!s.ok()) {
         append_error = s;
         break;
@@ -388,8 +440,10 @@ Status FloDB::WalCommit(const WriteOptions& options, WriteBatch* batch, int* tok
       if (w->fill_stats) {
         // Gated like the other batch counters so the amortization ratio
         // (batch_entries / wal_batch_records) stays coherent when a
-        // caller suppresses stats.
-        wal_batch_records_.fetch_add(1, std::memory_order_relaxed);
+        // caller suppresses stats. Prepares count separately: they are
+        // transaction machinery, not user batch records.
+        (w->prepare ? txn_prepares_ : wal_batch_records_)
+            .fetch_add(1, std::memory_order_relaxed);
       }
     }
     w->done = true;
@@ -524,6 +578,8 @@ StoreStats FloDB::GetStats() const {
   stats.group_commit_groups = group_commit_groups_.load(std::memory_order_relaxed);
   stats.group_commit_writers = group_commit_writers_.load(std::memory_order_relaxed);
   stats.persist_failures = persist_failures_.load(std::memory_order_relaxed);
+  stats.txn_prepares = txn_prepares_.load(std::memory_order_relaxed);
+  stats.orphaned_prepares = orphaned_prepares_.load(std::memory_order_relaxed);
   if (disk_ != nullptr) {
     stats.disk = disk_->GetStats();
   }

@@ -51,6 +51,7 @@
 namespace flodb {
 
 class FloDBScanIterator;
+class ShardedKVStore;
 
 class FloDB final : public KVStore {
  public:
@@ -87,8 +88,26 @@ class FloDB final : public KVStore {
 
  private:
   friend class FloDBScanIterator;
+  // The router drives the shard-side half of cross-shard two-phase commit
+  // (PrepareBatch / ApplyPreparedBatch / AbandonPrepare below).
+  friend class ShardedKVStore;
 
   explicit FloDB(const FloDbOptions& options);
+
+  // A batch entry decoded once per Write; slices point into the batch rep.
+  struct BatchEntryRef {
+    Slice key;
+    Slice value;
+    ValueType type;
+  };
+
+  // One collected scan result: the winning version's key, value and seq
+  // (threaded through to ScanIterator::seq()).
+  struct ScanEntry {
+    std::string key;
+    std::string value;
+    uint64_t seq = 0;
+  };
 
   // ---- background machinery (flodb_background.cc) ----
   void StartBackgroundThreads();
@@ -129,13 +148,11 @@ class FloDB final : public KVStore {
   // success, false if a seq violation demands a restart. `validate`
   // disables seq checks for the fallback path.
   bool ScanPass(const Slice& start, const Slice& high_key, size_t limit, uint64_t scan_seq,
-                bool validate, bool exclusive_start,
-                std::vector<std::pair<std::string, std::string>>* out);
+                bool validate, bool exclusive_start, std::vector<ScanEntry>* out);
   // Liveness fallback: briefly freezes Memtable writers, then runs an
   // unvalidated pass.
   Status FallbackPass(const Slice& start, const Slice& high_key, size_t limit,
-                      bool exclusive_start,
-                      std::vector<std::pair<std::string, std::string>>* out);
+                      bool exclusive_start, std::vector<ScanEntry>* out);
 
   MemBuffer* NewMembuffer() const;
 
@@ -151,13 +168,17 @@ class FloDB final : public KVStore {
   // ---- durability pipeline (DESIGN.md §10) ----
 
   // One queued Write awaiting the group-commit leader. Lives on the
-  // writer's stack; `rep` points into the caller's WriteBatch.
+  // writer's stack; `rep` (and `participants`, for prepares) point into
+  // the caller's frame, which outlives the commit.
   struct WalWaiter {
     Slice rep;
     uint32_t count = 0;
     bool sync = false;
     bool fill_stats = true;
     bool done = false;
+    bool prepare = false;   // append a prepare record instead of a batch
+    uint64_t txn_id = 0;    // prepare only
+    Slice participants;     // prepare only: pre-encoded shard set
     int token_slot = -1;  // epoch slot of the apply token taken on success
     Status status;
   };
@@ -167,7 +188,37 @@ class FloDB final : public KVStore {
   // writers (per-writer Sync when sync_coalesce is off). On OK the caller
   // holds an apply token in *token_slot and MUST release it (decrement
   // inflight_wal_applies_[slot]) once the batch is applied to memory.
-  Status WalCommit(const WriteOptions& options, WriteBatch* batch, int* token_slot);
+  // With txn_id != 0 the record is a cross-shard PREPARE carrying the
+  // participant set; prepares always sync (the router's commit marker
+  // must never be durable ahead of a participant's prepare).
+  Status WalCommit(const WriteOptions& options, WriteBatch* batch, int* token_slot,
+                   uint64_t txn_id = 0, const Slice& participants = Slice());
+
+  // Blocks while the Memtable is at its hard cap (2x target). Must run
+  // BEFORE WalCommit: a writer holding an apply token must not block on
+  // the persist thread, which waits on that token.
+  void WaitForMemtableHeadroom();
+
+  // Applies a WAL-committed batch to the memory component (Algorithm 2
+  // generalized), releasing the apply token in `token_slot` (if >= 0) on
+  // every path out. Never blocks on Memtable backpressure when holding a
+  // token.
+  Status ApplyBatchToMemory(const WriteOptions& options, WriteBatch* batch, int token_slot);
+
+  // ---- cross-shard two-phase commit hooks (ShardedKVStore only) ----
+
+  // Phase 1: durably logs this shard's slice of cross-shard transaction
+  // `txn_id` as a prepare record (always fsync'd) WITHOUT applying it to
+  // memory. On OK the caller holds an apply token in *token_slot and must
+  // finish with exactly one of ApplyPreparedBatch / AbandonPrepare.
+  Status PrepareBatch(const WriteOptions& options, WriteBatch* batch, uint64_t txn_id,
+                      const Slice& participants, int* token_slot);
+  // Phase 3: applies a prepared batch to memory and releases the token.
+  Status ApplyPreparedBatch(const WriteOptions& options, WriteBatch* batch, int token_slot);
+  // Abort: releases the token without applying. The prepare record stays
+  // in the WAL as an orphan; with no commit marker it is discarded by
+  // recovery, so the data is never visible.
+  void AbandonPrepare(int token_slot);
 
   // Opens wal-<number> as the live log. REQUIRES wal_mu_ held. On failure
   // the WAL stays broken (wal_ null, wal_status_ set) and writes fail.
@@ -276,6 +327,7 @@ class FloDB final : public KVStore {
   mutable std::atomic<uint64_t> wal_syncs_{0};
   mutable std::atomic<uint64_t> group_commit_groups_{0}, group_commit_writers_{0};
   mutable std::atomic<uint64_t> persist_failures_{0};
+  mutable std::atomic<uint64_t> txn_prepares_{0}, orphaned_prepares_{0};
 };
 
 }  // namespace flodb

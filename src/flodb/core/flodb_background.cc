@@ -447,11 +447,30 @@ Status FloDB::RecoverFromWal() {
       return s;
     }
     WalReader reader(std::move(file));
-    s = reader.ReplayUpdates([&](const Slice& key, const Slice& value, ValueType type) {
-      const uint64_t seq = global_seq_.fetch_add(1, std::memory_order_relaxed);
-      mtb->Add(key, value, seq, type);
-      ++replayed;
-    });
+    s = reader.ReplayUpdates(
+        [&](const Slice& key, const Slice& value, ValueType type) {
+          const uint64_t seq = global_seq_.fetch_add(1, std::memory_order_relaxed);
+          mtb->Add(key, value, seq, type);
+          ++replayed;
+        },
+        [&](uint64_t txn_id, const std::vector<uint32_t>& /*participants*/,
+            uint32_t /*count*/, const Slice& /*entries*/) {
+          // Prepare records replay (at their WAL position) only when the
+          // router vouches for a durable commit marker. A missing marker
+          // means the transaction was never acknowledged: the prepare is
+          // an orphan and is discarded whole. A marker whose prepare is
+          // MISSING here is also fine — that shard slice already
+          // persisted to the disk component and its log was deleted.
+          CrossShardTxnRecovery* ctx = options_.txn_recovery;
+          if (ctx != nullptr && txn_id > ctx->max_txn_id_seen) {
+            ctx->max_txn_id_seen = txn_id;
+          }
+          const bool committed = ctx != nullptr && ctx->IsCommitted(txn_id);
+          if (!committed) {
+            orphaned_prepares_.fetch_add(1, std::memory_order_relaxed);
+          }
+          return committed;
+        });
     if (!s.ok()) {
       return s;  // mid-log corruption: refuse to open on damaged state
     }

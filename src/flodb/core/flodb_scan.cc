@@ -36,8 +36,7 @@
 namespace flodb {
 
 bool FloDB::ScanPass(const Slice& start, const Slice& high_key, size_t limit, uint64_t scan_seq,
-                     bool validate, bool exclusive_start,
-                     std::vector<std::pair<std::string, std::string>>* out) {
+                     bool validate, bool exclusive_start, std::vector<ScanEntry>* out) {
   out->clear();
   // The RCU section pins both Memtables for the whole pass; the disk
   // iterator pins its own Version internally.
@@ -79,7 +78,7 @@ bool FloDB::ScanPass(const Slice& start, const Slice& high_key, size_t limit, ui
     if (merged->type() == ValueType::kTombstone) {
       continue;
     }
-    out->emplace_back(last_key, merged->value().ToString());
+    out->push_back(ScanEntry{last_key, merged->value().ToString(), merged->seq()});
     if (limit != 0 && out->size() >= limit) {
       break;
     }
@@ -88,8 +87,7 @@ bool FloDB::ScanPass(const Slice& start, const Slice& high_key, size_t limit, ui
 }
 
 Status FloDB::FallbackPass(const Slice& start, const Slice& high_key, size_t limit,
-                           bool exclusive_start,
-                           std::vector<std::pair<std::string, std::string>>* out) {
+                           bool exclusive_start, std::vector<ScanEntry>* out) {
   fallback_scans_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> master(master_mu_);
   pause_writers_.store(true, std::memory_order_seq_cst);
@@ -224,14 +222,19 @@ class FloDBScanIterator final : public ScanIterator {
     }
   }
 
-  Slice key() const override { return Slice(chunk_[pos_].first); }
-  Slice value() const override { return Slice(chunk_[pos_].second); }
+  Slice key() const override { return Slice(chunk_[pos_].key); }
+  Slice value() const override { return Slice(chunk_[pos_].value); }
+  uint64_t seq() const override { return chunk_[pos_].seq; }
   Status status() const override { return status_; }
   size_t MaxBufferedEntries() const override { return max_buffered_; }
 
   // Legacy Scan support: hands the (single) buffered chunk to the caller.
   void TakeChunk(std::vector<std::pair<std::string, std::string>>* out) {
-    out->swap(chunk_);
+    out->clear();
+    out->reserve(chunk_.size());
+    for (FloDB::ScanEntry& e : chunk_) {
+      out->emplace_back(std::move(e.key), std::move(e.value));
+    }
     chunk_.clear();
     pos_ = 0;
     finished_ = true;
@@ -269,7 +272,7 @@ class FloDBScanIterator final : public ScanIterator {
     }
     if (!chunk_.empty()) {
       emitted_any_ = true;
-      resume_key_ = chunk_.back().first;
+      resume_key_ = chunk_.back().key;
       has_resume_ = true;
     }
   }
@@ -282,7 +285,7 @@ class FloDBScanIterator final : public ScanIterator {
   FloDB::ScanTicket ticket_;
   const bool holding_;
 
-  std::vector<std::pair<std::string, std::string>> chunk_;
+  std::vector<FloDB::ScanEntry> chunk_;
   size_t pos_ = 0;
   std::string resume_key_;
   bool has_resume_ = false;

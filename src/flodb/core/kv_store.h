@@ -52,6 +52,14 @@ struct StoreStats {
   uint64_t group_commit_writers = 0;  // writers committed across those rounds
   uint64_t persist_failures = 0;      // failed Memtable->disk persist attempts
 
+  // Cross-shard transactions (DESIGN.md §8; zero for unsharded stores and
+  // in legacy per-shard mode).
+  uint64_t txn_prepares = 0;          // prepare records durably logged (per shard)
+  uint64_t txn_commits = 0;           // cross-shard batches fully committed
+  uint64_t txn_aborts = 0;            // cross-shard batches aborted, nothing visible
+  uint64_t orphaned_prepares = 0;     // prepares discarded during recovery (no marker)
+  uint64_t partial_batch_writes = 0;  // legacy-mode batches that committed partially
+
   // FloDB-specific (zero for baselines).
   uint64_t membuffer_adds = 0;      // updates completed in the Membuffer
   uint64_t memtable_direct_adds = 0;  // updates that spilled to the Memtable
@@ -123,6 +131,12 @@ class ScanIterator {
   // REQUIRES Valid(). Slices are valid until the next Next() call.
   virtual Slice key() const = 0;
   virtual Slice value() const = 0;
+
+  // Sequence number of the version this entry carries — the seq assigned
+  // when the winning update entered the Memtable (or was persisted).
+  // Stores that do not track per-version seqs (the chunked baseline
+  // iterator) report 0. REQUIRES Valid().
+  virtual uint64_t seq() const { return 0; }
 
   // Non-OK when the stream terminated on an error (iteration ends early).
   virtual Status status() const = 0;

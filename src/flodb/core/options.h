@@ -7,12 +7,30 @@
 #ifndef FLODB_CORE_OPTIONS_H_
 #define FLODB_CORE_OPTIONS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "flodb/disk/disk_component.h"
 
 namespace flodb {
+
+// Cross-shard transaction recovery context, wired by ShardedKVStore::Open
+// into each shard's FloDB::Open before WAL replay. `committed` holds the
+// txn ids with a durable commit marker in the router's txn log; a prepare
+// record replays iff its id is in this set, otherwise it is an orphan.
+// Shards report the highest txn id seen (committed or not) back through
+// `max_txn_id_seen` so the router can restart its id counter past every
+// id ever issued. Owned by the router; shards only borrow it during Open.
+struct CrossShardTxnRecovery {
+  std::vector<uint64_t> committed;  // sorted ascending
+  uint64_t max_txn_id_seen = 0;
+
+  bool IsCommitted(uint64_t txn_id) const {
+    return std::binary_search(committed.begin(), committed.end(), txn_id);
+  }
+};
 
 struct FloDbOptions {
   // Total in-memory budget (Membuffer + Memtable target).
@@ -81,6 +99,25 @@ struct FloDbOptions {
   // key into one shard. 0 keeps routing order-preserving, which lets
   // range scans prune to the shards intersecting their bounds.
   size_t shard_key_prefix_skip = 0;
+
+  // Cross-shard atomicity (DESIGN.md §8). On (the default), a WriteBatch
+  // that straddles shards commits via two-phase commit: every touched
+  // shard durably logs a prepare record, the router fsyncs a commit
+  // marker into its txn log, and only then does the batch become visible
+  // — recovery replays it all-or-nothing. Merged scans additionally open
+  // all shard cursors under a router-level write fence, so a snapshot
+  // never observes half of a cross-shard batch. Off restores the legacy
+  // per-shard mode (independent per-shard commits, partial persistence
+  // possible after a crash) for A/B comparison and as an escape hatch.
+  // Single-shard batches and Put/Delete never pay the 2PC cost in either
+  // mode. Only consulted by ShardedKVStore with shards > 1.
+  bool cross_shard_atomic = true;
+
+  // Internal (set by ShardedKVStore::Open, ignored otherwise): borrowed
+  // pointer to the router's transaction recovery context, consulted by
+  // WAL replay to decide the fate of prepare records. With no context,
+  // every prepare is conservatively treated as orphaned.
+  CrossShardTxnRecovery* txn_recovery = nullptr;
 
   DiskOptions disk;
 };

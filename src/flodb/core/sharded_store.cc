@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "flodb/common/coding.h"
 #include "flodb/disk/env.h"
 #include "flodb/disk/merging_iterator.h"
 
@@ -40,12 +41,40 @@ Status CheckOrWriteTopology(Env* env, const std::string& base, int shards, size_
   return WriteStringToFile(env, Slice(expected), path, /*sync=*/true);
 }
 
+// Txn-log record payload: uint8 kTxnCommitTag | varint64 txn_id, framed by
+// the shared WalWriter/WalReader CRC framing (DESIGN.md §10). The tag
+// byte leaves room for future marker kinds (e.g. explicit aborts).
+constexpr uint8_t kTxnCommitTag = 1;
+
+// Rebuilds a status with the same code but an annotated message (the
+// factory constructors are the only way in).
+Status StatusWithCode(Status::Code code, const std::string& msg) {
+  switch (code) {
+    case Status::Code::kNotFound:
+      return Status::NotFound(msg);
+    case Status::Code::kCorruption:
+      return Status::Corruption(msg);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(msg);
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case Status::Code::kBusy:
+      return Status::Busy(msg);
+    case Status::Code::kAborted:
+      return Status::Aborted(msg);
+    case Status::Code::kIOError:
+    default:
+      return Status::IOError(msg);
+  }
+}
+
 // Presents a per-shard ScanIterator (user-facing: tombstones elided, one
 // live version per key) as a disk/Iterator so NewMergingIterator can
 // heap-merge shard streams. Keys never collide across shards (routing is
-// a function of the key), so the merge degenerates to pure interleaving
-// and the synthetic seq/type are never consulted for ordering decisions
-// that matter.
+// a function of the key), so the merge degenerates to pure interleaving.
+// seq() forwards the shard stream's real per-version seq; type() is
+// kValue by construction — a user-facing stream elides tombstones, so
+// every entry it emits IS a live value.
 class ShardChildIterator final : public Iterator {
  public:
   explicit ShardChildIterator(std::unique_ptr<ScanIterator> child)
@@ -68,7 +97,7 @@ class ShardChildIterator final : public Iterator {
 
   Slice key() const override { return child_->key(); }
   Slice value() const override { return child_->value(); }
-  uint64_t seq() const override { return 0; }
+  uint64_t seq() const override { return child_->seq(); }
   ValueType type() const override { return ValueType::kValue; }
   Status status() const override { return child_->status(); }
 
@@ -100,6 +129,7 @@ class ShardedScanIterator final : public ScanIterator {
   void Next() override { merged_->Next(); }
   Slice key() const override { return merged_->key(); }
   Slice value() const override { return merged_->value(); }
+  uint64_t seq() const override { return merged_->seq(); }
   Status status() const override { return merged_->status(); }
 
   // The facade's observable bound: the sum of the shard streams' high-water
@@ -127,6 +157,15 @@ std::string ShardedKVStore::ShardPath(const std::string& base, int shard) {
   char buf[16];
   snprintf(buf, sizeof(buf), "/shard-%03d", shard);
   return base + buf;
+}
+
+std::string ShardedKVStore::TxnLogPath(const std::string& base) { return base + "/txn.log"; }
+
+ShardedKVStore::~ShardedKVStore() {
+  if (txn_log_ != nullptr) {
+    txn_log_->Sync();
+    txn_log_->Close();
+  }
 }
 
 Status ShardedKVStore::Open(const FloDbOptions& options, std::unique_ptr<ShardedKVStore>* out) {
@@ -170,6 +209,8 @@ Status ShardedKVStore::Open(const FloDbOptions& options, std::unique_ptr<Sharded
 
   auto store = std::unique_ptr<ShardedKVStore>(
       new ShardedKVStore(n, options.shard_key_prefix_skip));
+  store->atomic_mode_ = options.cross_shard_atomic && n > 1;
+  store->wal_enabled_ = options.enable_wal;
   if (options.enable_persistence) {
     if (options.disk.env == nullptr || options.disk.path.empty()) {
       return Status::InvalidArgument("persistence requires disk.env and disk.path");
@@ -185,21 +226,78 @@ Status ShardedKVStore::Open(const FloDbOptions& options, std::unique_ptr<Sharded
     }
   }
 
-  // Open (and recover) shards in index order; no shard serves traffic
-  // until every WAL has replayed. A failure abandons the already-opened
-  // shards (their destructors stop cleanly; nothing was modified beyond
-  // each shard's own recovery).
+  // Recovery step 1: read the txn log into the committed-marker set,
+  // BEFORE any shard replays its WAL. This runs regardless of the current
+  // cross_shard_atomic setting — the knob gates the write path, but
+  // markers written under a previous configuration must still decide the
+  // fate of prepares sitting in shard WALs, or flipping the knob off
+  // would discard acknowledged data. A torn tail record is the normal
+  // crash outcome (the marker's transaction was never acknowledged with
+  // sync, or the ack raced the crash) and ends the scan; mid-log
+  // corruption refuses to open, mirroring the WAL reader's contract.
+  uint64_t max_marker_id = 0;
+  if (options.enable_persistence && options.enable_wal && n > 1) {
+    store->txn_recovery_ = std::make_unique<CrossShardTxnRecovery>();
+    const std::string log_path = TxnLogPath(options.disk.path);
+    std::unique_ptr<SequentialFile> file;
+    if (options.disk.env->NewSequentialFile(log_path, &file).ok()) {
+      WalReader reader(std::move(file));
+      std::string payload;
+      while (reader.ReadRecord(&payload)) {
+        Slice in(payload);
+        uint64_t txn_id = 0;
+        if (in.size() < 2 || static_cast<uint8_t>(in[0]) != kTxnCommitTag) {
+          return Status::Corruption("malformed txn-log record");
+        }
+        in.remove_prefix(1);
+        if (!GetVarint64(&in, &txn_id)) {
+          return Status::Corruption("malformed txn-log record");
+        }
+        store->txn_recovery_->committed.push_back(txn_id);
+        max_marker_id = std::max(max_marker_id, txn_id);
+      }
+      if (!reader.status().ok()) {
+        return reader.status();
+      }
+      std::sort(store->txn_recovery_->committed.begin(), store->txn_recovery_->committed.end());
+    }
+  }
+
+  // Recovery step 2: open (and recover) shards in index order; no shard
+  // serves traffic until every WAL has replayed. Each shard borrows the
+  // recovery context: prepare records replay iff their txn id has a
+  // marker, orphans are discarded and counted. A failure abandons the
+  // already-opened shards (their destructors stop cleanly; nothing was
+  // modified beyond each shard's own recovery).
   for (int i = 0; i < n; ++i) {
     FloDbOptions per_shard = shard_options;
     if (options.enable_persistence) {
       per_shard.disk.path = ShardPath(options.disk.path, i);
     }
+    per_shard.txn_recovery = store->txn_recovery_.get();
     std::unique_ptr<FloDB> shard;
     Status s = FloDB::Open(per_shard, &shard);
     if (!s.ok()) {
       return s;
     }
     store->shards_.push_back(std::move(shard));
+  }
+
+  // Recovery step 3: every marker has been consumed (shard recovery
+  // replayed-and-persisted or discarded every prepare, and deleted the
+  // logs that held them), so the txn log truncates and restarts empty.
+  // The id counter resumes past every id ever seen — in a marker or in
+  // an orphaned prepare — so ids never repeat across restarts.
+  if (store->txn_recovery_ != nullptr) {
+    store->next_txn_id_.store(
+        std::max(max_marker_id, store->txn_recovery_->max_txn_id_seen) + 1,
+        std::memory_order_relaxed);
+    std::unique_ptr<WritableFile> file;
+    Status s = options.disk.env->NewWritableFile(TxnLogPath(options.disk.path), &file);
+    if (!s.ok()) {
+      return s;
+    }
+    store->txn_log_ = std::make_unique<WalWriter>(std::move(file));
   }
   *out = std::move(store);
   return Status::OK();
@@ -259,19 +357,204 @@ Status ShardedKVStore::Write(const WriteOptions& options, WriteBatch* batch) {
   }
   cross_shard_writes_.fetch_add(1, std::memory_order_relaxed);
 
-  // One group commit per touched shard, in shard order. Atomicity is
-  // PER SHARD: a crash can persist a prefix of the touched shards
-  // (DESIGN.md §8); within each shard the split replays all-or-nothing.
+  return atomic_mode_ ? WriteAtomic(options, splits) : WriteLegacy(options, splits);
+}
+
+// Two-phase commit over the per-shard WAL machinery (DESIGN.md §8).
+// Phase 1 logs a prepare record in every touched shard — always fsync'd,
+// so a durable commit marker IMPLIES every participant's prepare is
+// durable (presumed abort: recovery discards any prepare without a
+// marker). Phase 2 appends the marker to the router's txn log (fsync'd
+// before the ack for sync writers). Phase 3 applies every split to
+// memory under the shared snapshot fence; nothing is visible before the
+// marker exists. Any phase 1/2 failure aborts: the tokens are released
+// without applying, the orphaned prepares are discarded by the next
+// recovery, and the caller is told nothing of the batch is visible.
+Status ShardedKVStore::WriteAtomic(const WriteOptions& options, std::vector<WriteBatch>& splits) {
+  const uint64_t txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+
+  // The participant shard set, pre-encoded once and shared by reference
+  // across every shard's prepare record.
+  std::string participants;
+  uint32_t nshards = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!splits[i].Empty()) {
+      ++nshards;
+    }
+  }
+  PutVarint32(&participants, nshards);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!splits[i].Empty()) {
+      PutVarint32(&participants, static_cast<uint32_t>(i));
+    }
+  }
+
+  // Phases 1 + 2 only exist with a WAL: without one there is no crash
+  // state to keep consistent, and the fence alone provides the scan
+  // guarantee.
+  std::vector<std::pair<size_t, int>> prepared;  // (shard, apply-token slot)
+  prepared.reserve(nshards);
+  if (wal_enabled_) {
+    Status s;
+    for (size_t i = 0; i < shards_.size() && s.ok(); ++i) {
+      if (splits[i].Empty()) {
+        continue;
+      }
+      int token_slot = -1;
+      s = shards_[i]->PrepareBatch(options, &splits[i], txn_id, Slice(participants),
+                                   &token_slot);
+      if (s.ok()) {
+        prepared.emplace_back(i, token_slot);
+      }
+    }
+    if (s.ok()) {
+      s = CommitMarker(txn_id, options.sync);
+    }
+    if (!s.ok()) {
+      // Abort: release every token WITHOUT applying. The prepares stay in
+      // their WALs as orphans; with no marker they can never replay, so
+      // no shard's slice of this batch is ever visible or durable.
+      for (const auto& [shard, token_slot] : prepared) {
+        shards_[shard]->AbandonPrepare(token_slot);
+      }
+      txn_aborts_.fetch_add(1, std::memory_order_relaxed);
+      return StatusWithCode(s.code(), "cross-shard transaction aborted, nothing committed: " +
+                                          s.ToString());
+    }
+  }
+
+  // Phase 3: apply to memory. The shared fence spans the WHOLE multi-
+  // shard apply, so a consistent merged scan (which takes the fence
+  // exclusively while opening its cursors) sees either none or all of
+  // this batch. Appliers hold WAL apply tokens and are exempt from
+  // Memtable backpressure, so the fence is never held across a blocking
+  // wait on the persist thread.
+  {
+    std::shared_lock<std::shared_mutex> fence(txn_apply_gate_);
+    if (wal_enabled_) {
+      for (const auto& [shard, token_slot] : prepared) {
+        shards_[shard]->ApplyPreparedBatch(options, &splits[shard], token_slot);
+      }
+    } else {
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        if (!splits[i].Empty()) {
+          shards_[i]->Write(options, &splits[i]);
+        }
+      }
+    }
+  }
+  txn_commits_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// The pre-2PC behavior, kept behind cross_shard_atomic = off: one
+// independent group commit per touched shard, in shard order. Atomicity
+// is PER SHARD — a crash can persist a strict subset of the touched
+// shards, and a runtime failure leaves the earlier shards committed. The
+// latter is at least no longer silent: the status names the shards that
+// committed and partial_batch_writes counts the occurrences.
+Status ShardedKVStore::WriteLegacy(const WriteOptions& options, std::vector<WriteBatch>& splits) {
+  std::vector<size_t> committed;
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (splits[i].Empty()) {
       continue;
     }
-    s = shards_[i]->Write(options, &splits[i]);
+    Status s = shards_[i]->Write(options, &splits[i]);
     if (!s.ok()) {
-      return s;
+      if (committed.empty()) {
+        return s;  // clean failure: no shard committed anything
+      }
+      partial_batch_writes_.fetch_add(1, std::memory_order_relaxed);
+      std::string msg = "cross-shard batch partially committed: shard";
+      msg += committed.size() > 1 ? "s " : " ";
+      for (size_t j = 0; j < committed.size(); ++j) {
+        if (j > 0) {
+          msg += ",";
+        }
+        msg += std::to_string(committed[j]);
+      }
+      msg += " committed before shard " + std::to_string(i) + " failed: " + s.ToString();
+      return StatusWithCode(s.code(), msg);
     }
+    committed.push_back(i);
   }
   return Status::OK();
+}
+
+Status ShardedKVStore::CommitMarker(uint64_t txn_id, bool sync) {
+  TxnMarkerWaiter me;
+  me.txn_id = txn_id;
+  me.sync = sync;
+
+  std::unique_lock<std::mutex> lock(txn_log_mu_);
+  txn_log_queue_.push_back(&me);
+  txn_log_cv_.wait(lock, [&] { return me.done || txn_log_queue_.front() == &me; });
+  if (me.done) {
+    return me.status;  // a leader committed this marker as part of its group
+  }
+
+  // Leader: snapshot the whole queue as the group. A broken log fails the
+  // group — appending after an unknown-tail failure would fake
+  // durability; the log heals at the next Open's truncation.
+  std::vector<TxnMarkerWaiter*> group(txn_log_queue_.begin(), txn_log_queue_.end());
+  Status broken = txn_log_status_;
+  if (broken.ok() && txn_log_ == nullptr) {
+    broken = Status::IOError("txn log is not open");
+  }
+
+  size_t appended = 0;
+  bool group_has_sync = false;
+  Status append_error;
+  Status sync_error;
+  if (broken.ok()) {
+    // IO happens WITHOUT txn_log_mu_ (the queue front keeps new arrivals
+    // followers), so a group can form behind a slow fsync.
+    WalWriter* log = txn_log_.get();
+    lock.unlock();
+    std::string payload;
+    for (TxnMarkerWaiter* w : group) {
+      payload.clear();
+      payload.push_back(static_cast<char>(kTxnCommitTag));
+      PutVarint64(&payload, w->txn_id);
+      Status s = log->AddRecord(payload);
+      if (!s.ok()) {
+        append_error = s;
+        break;
+      }
+      ++appended;
+      group_has_sync = group_has_sync || w->sync;
+    }
+    if (appended > 0 && group_has_sync) {
+      sync_error = log->Sync();
+    }
+    lock.lock();
+  }
+  if (!append_error.ok() || !sync_error.ok()) {
+    txn_log_status_ = append_error.ok() ? sync_error : append_error;
+  }
+
+  // Mirror WalCommit's per-writer results: an appended, unsynced marker
+  // is an acceptable ack for a sync=false transaction (it may vanish in a
+  // crash — together with its prepares, whole); a sync writer whose fsync
+  // failed aborts.
+  for (size_t i = 0; i < group.size(); ++i) {
+    TxnMarkerWaiter* w = group[i];
+    if (!broken.ok()) {
+      w->status = broken;
+    } else if (i >= appended) {
+      w->status = append_error;
+    } else if (w->sync && !sync_error.ok()) {
+      w->status = sync_error;
+    } else {
+      w->status = Status::OK();
+    }
+    w->done = true;
+  }
+  txn_log_queue_.erase(txn_log_queue_.begin(),
+                       txn_log_queue_.begin() + static_cast<ptrdiff_t>(group.size()));
+  lock.unlock();
+  txn_log_cv_.notify_all();
+  return me.status;
 }
 
 Status ShardedKVStore::Get(const ReadOptions& options, const Slice& key, std::string* value) {
@@ -290,8 +573,27 @@ std::unique_ptr<ScanIterator> ShardedKVStore::NewMergedIterator(const ReadOption
   if (last >= first) {
     children.reserve(static_cast<size_t>(last - first + 1));
   }
+
+  // Consistent cross-shard snapshot (atomic mode, > 1 consulted shard):
+  // hold the write fence exclusively while opening every shard cursor —
+  // no cross-shard batch can apply in between, and each cursor fetches
+  // its FIRST chunk inside its constructor, so for ranges that fit in one
+  // chunk per shard the entire result materializes under the fence.
+  // Cursors must take fresh master snapshots: a piggybacked seq predates
+  // the fence and could sit on the far side of a just-applied batch.
+  // Later chunks refetch outside the fence and may advance per shard —
+  // the same per-chunk guarantee as a single FloDB stream (DESIGN.md §4).
+  // The explicit kPiggyback hint opts out of the fence entirely (the
+  // legacy cheap-and-inconsistent mode).
+  ReadOptions child_options = options;
+  std::unique_lock<std::shared_mutex> fence;
+  if (atomic_mode_ && last > first && options.snapshot_mode != SnapshotMode::kPiggyback) {
+    child_options.snapshot_mode = SnapshotMode::kMaster;
+    fence = std::unique_lock<std::shared_mutex>(txn_apply_gate_);
+  }
   for (int i = first; i <= last; ++i) {
-    children.push_back(shards_[static_cast<size_t>(i)]->NewScanIterator(options, low_key, high_key));
+    children.push_back(
+        shards_[static_cast<size_t>(i)]->NewScanIterator(child_options, low_key, high_key));
   }
   return std::make_unique<ShardedScanIterator>(std::move(children));
 }
@@ -358,6 +660,8 @@ StoreStats ShardedKVStore::GetStats() const {
     total.group_commit_groups += s.group_commit_groups;
     total.group_commit_writers += s.group_commit_writers;
     total.persist_failures += s.persist_failures;
+    total.txn_prepares += s.txn_prepares;
+    total.orphaned_prepares += s.orphaned_prepares;
     total.disk.bytes_flushed += s.disk.bytes_flushed;
     total.disk.bytes_compacted_in += s.disk.bytes_compacted_in;
     total.disk.bytes_compacted_out += s.disk.bytes_compacted_out;
@@ -380,6 +684,10 @@ StoreStats ShardedKVStore::GetStats() const {
       total.disk.files_per_level[l] += s.disk.files_per_level[l];
     }
   }
+  // Router-level transaction counters (not owned by any shard).
+  total.txn_commits += txn_commits_.load(std::memory_order_relaxed);
+  total.txn_aborts += txn_aborts_.load(std::memory_order_relaxed);
+  total.partial_batch_writes += partial_batch_writes_.load(std::memory_order_relaxed);
   return total;
 }
 

@@ -8,14 +8,27 @@
 // The configured memory budget and drain/compaction thread budgets are
 // divided across the shards (floor of one thread per shard).
 //
-//   Write(batch)  -> split by shard, one group commit per touched shard
-//                    (per-shard atomicity only — DESIGN.md §8).
+//   Write(batch)  -> split by shard. With cross_shard_atomic (default) a
+//                    straddling batch commits via two-phase commit: every
+//                    touched shard durably logs a prepare record, the
+//                    router fsyncs a commit marker into its txn log, then
+//                    the batch applies to memory under a shared fence —
+//                    recovery is all-or-nothing per acknowledged batch.
+//                    Legacy mode (knob off) keeps independent per-shard
+//                    commits and surfaces partial commits in the status.
+//                    Single-shard batches take the zero-copy fast path in
+//                    both modes: no prepare, no marker, no fence.
 //   Get/Put/Del   -> routed to the owning shard.
 //   Scan/iterate  -> per-shard streaming iterators merged by a k-way
 //                    heap (reusing disk/merging_iterator), preserving
-//                    PR 2's bounded-chunk memory ceiling per shard.
-//   Open          -> recovers every shard (per-shard WAL replay) before
-//                    any shard serves traffic.
+//                    PR 2's bounded-chunk memory ceiling per shard. In
+//                    atomic mode multi-shard cursors open under the write
+//                    fence with fresh master snapshots, so the initial
+//                    chunk of every shard stream sits on one side of any
+//                    cross-shard batch (DESIGN.md §8).
+//   Open          -> reads the txn log, then recovers every shard
+//                    (per-shard WAL replay honoring commit markers)
+//                    before any shard serves traffic.
 //
 // shards == 1 is a pure pass-through: every operation forwards to the
 // single FloDB untouched, so behavior and stats match a plain instance
@@ -25,7 +38,11 @@
 #define FLODB_CORE_SHARDED_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -33,6 +50,7 @@
 #include "flodb/core/kv_store.h"
 #include "flodb/core/options.h"
 #include "flodb/core/shard_router.h"
+#include "flodb/disk/wal.h"
 
 namespace flodb {
 
@@ -46,7 +64,7 @@ class ShardedKVStore final : public KVStore {
   // shards < 1 or > kMaxShards; rounds a non-power-of-two count up to
   // the next power of two (see FloDbOptions::shards).
   static Status Open(const FloDbOptions& options, std::unique_ptr<ShardedKVStore>* out);
-  ~ShardedKVStore() override = default;
+  ~ShardedKVStore() override;
 
   ShardedKVStore(const ShardedKVStore&) = delete;
   ShardedKVStore& operator=(const ShardedKVStore&) = delete;
@@ -81,9 +99,16 @@ class ShardedKVStore final : public KVStore {
     return cross_shard_writes_.load(std::memory_order_relaxed);
   }
   FloDB* shard(int i) const { return shards_[i].get(); }
+  // True when straddling batches commit through two-phase commit.
+  bool AtomicMode() const { return atomic_mode_; }
+  // Next cross-shard transaction id to be issued (recovery seeds it past
+  // every id ever seen in a marker or prepare).
+  uint64_t NextTxnId() const { return next_txn_id_.load(std::memory_order_relaxed); }
 
   // The subdirectory shard `i` lives in, given the configured base path.
   static std::string ShardPath(const std::string& base, int shard);
+  // The router's commit-marker log, given the configured base path.
+  static std::string TxnLogPath(const std::string& base);
 
  private:
   ShardedKVStore(int shards, size_t prefix_skip);
@@ -91,10 +116,61 @@ class ShardedKVStore final : public KVStore {
   std::unique_ptr<ScanIterator> NewMergedIterator(const ReadOptions& options,
                                                   const Slice& low_key, const Slice& high_key);
 
+  // Two-phase commit for a straddling batch: per-shard prepares, one
+  // durable commit marker, then apply-to-memory under the shared fence.
+  // Any prepare/marker failure aborts with NOTHING visible.
+  Status WriteAtomic(const WriteOptions& options, std::vector<WriteBatch>& splits);
+  // Legacy per-shard commits (cross_shard_atomic = off): independent
+  // group commits in shard order; a mid-batch failure reports exactly
+  // which shards had already committed.
+  Status WriteLegacy(const WriteOptions& options, std::vector<WriteBatch>& splits);
+
+  // Appends (and, for sync, fsyncs) a commit marker through the txn log's
+  // group-commit leader queue — the PR 5 WalCommit pattern: the queue
+  // front appends every queued marker and issues ONE Sync covering the
+  // group's sync writers.
+  Status CommitMarker(uint64_t txn_id, bool sync);
+
+  // One queued CommitMarker awaiting the leader; lives on the caller's
+  // stack.
+  struct TxnMarkerWaiter {
+    uint64_t txn_id = 0;
+    bool sync = false;
+    bool done = false;
+    Status status;
+  };
+
   const ShardRouter router_;
   std::vector<std::unique_ptr<FloDB>> shards_;
 
+  // Cross-shard transaction state (DESIGN.md §8). The recovery context
+  // outlives Open because each shard's options keep a borrowed pointer.
+  bool atomic_mode_ = false;  // cross_shard_atomic && shards > 1
+  bool wal_enabled_ = false;
+  std::unique_ptr<CrossShardTxnRecovery> txn_recovery_;
+  std::atomic<uint64_t> next_txn_id_{1};
+
+  // Txn log (commit markers): append-only at runtime, truncated by the
+  // next Open once shard recovery has consumed every marker. txn_log_mu_
+  // protects the queue, the writer and txn_log_status_; the leader drops
+  // the mutex for the Append+Sync phase (queue front keeps arrivals
+  // followers).
+  std::mutex txn_log_mu_;
+  std::condition_variable txn_log_cv_;
+  std::deque<TxnMarkerWaiter*> txn_log_queue_;
+  std::unique_ptr<WalWriter> txn_log_;
+  Status txn_log_status_;  // non-OK: marker log broken, atomic writes fail
+
+  // The snapshot fence: the apply phase of a cross-shard commit holds it
+  // shared for the whole multi-shard apply; a consistent merged scan
+  // holds it unique while opening every shard cursor (each fetches its
+  // first chunk inside), so no cursor set can observe half a batch.
+  mutable std::shared_mutex txn_apply_gate_;
+
   mutable std::atomic<uint64_t> cross_shard_writes_{0};
+  mutable std::atomic<uint64_t> txn_commits_{0};
+  mutable std::atomic<uint64_t> txn_aborts_{0};
+  mutable std::atomic<uint64_t> partial_batch_writes_{0};
 };
 
 }  // namespace flodb

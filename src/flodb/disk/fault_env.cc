@@ -20,16 +20,20 @@ class FaultInjectionWritableFile final : public WritableFile {
     {
       std::lock_guard<std::mutex> lock(env_->mu_);
       ++env_->append_count_;
-      if (env_->appends_broken_) {
-        return Status::IOError("injected append failure (latched)");
-      }
-      if (env_->appends_until_fail_ == 0) {
-        env_->appends_broken_ = true;
-        // A torn write puts half the data on the device before dying —
-        // the classic mid-record power cut.
-        allowed = env_->torn_append_ ? data.size() / 2 : 0;
-      } else if (env_->appends_until_fail_ > 0) {
-        --env_->appends_until_fail_;
+      const bool matches = env_->fail_append_substr_.empty() ||
+                           fname_.find(env_->fail_append_substr_) != std::string::npos;
+      if (matches) {
+        if (env_->appends_broken_) {
+          return Status::IOError("injected append failure (latched)");
+        }
+        if (env_->appends_until_fail_ == 0) {
+          env_->appends_broken_ = true;
+          // A torn write puts half the data on the device before dying —
+          // the classic mid-record power cut.
+          allowed = env_->torn_append_ ? data.size() / 2 : 0;
+        } else if (env_->appends_until_fail_ > 0) {
+          --env_->appends_until_fail_;
+        }
       }
     }
     if (allowed < data.size()) {
@@ -176,9 +180,10 @@ void FaultInjectionEnv::FailNewWritableFiles(bool enabled, const std::string& su
   fail_new_writable_substr_ = substr;
 }
 
-void FaultInjectionEnv::FailAppendAfter(uint64_t n, bool torn) {
+void FaultInjectionEnv::FailAppendAfter(uint64_t n, bool torn, const std::string& substr) {
   std::lock_guard<std::mutex> lock(mu_);
   appends_until_fail_ = static_cast<int64_t>(n);
+  fail_append_substr_ = substr;
   torn_append_ = torn;
   appends_broken_ = false;
 }
@@ -198,6 +203,7 @@ void FaultInjectionEnv::ClearFaults() {
   fail_new_writable_ = false;
   fail_new_writable_substr_.clear();
   appends_until_fail_ = -1;
+  fail_append_substr_.clear();
   torn_append_ = false;
   appends_broken_ = false;
   fail_syncs_ = false;

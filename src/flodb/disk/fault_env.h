@@ -74,8 +74,11 @@ class FaultInjectionEnv final : public Env {
 
   // The next `n` appends succeed; the one after fails — writing a torn
   // prefix of its data first when `torn` — and every later append fails
-  // too until ClearFaults().
-  void FailAppendAfter(uint64_t n, bool torn);
+  // too until ClearFaults(). With a non-empty `substr`, only appends to
+  // files whose path contains it count toward `n` or fail (other files
+  // keep working) — the knob behind the cross-shard crash matrix, which
+  // must hit ONE shard's WAL or just the router's txn log.
+  void FailAppendAfter(uint64_t n, bool torn, const std::string& substr = std::string());
 
   // When enabled, every Sync fails (and durability bookkeeping freezes).
   void FailSyncs(bool enabled);
@@ -105,6 +108,7 @@ class FaultInjectionEnv final : public Env {
   bool fail_new_writable_ = false;
   std::string fail_new_writable_substr_;
   int64_t appends_until_fail_ = -1;  // -1 = disabled; 0 = next append fires
+  std::string fail_append_substr_;   // non-empty: only matching paths count
   bool torn_append_ = false;
   bool appends_broken_ = false;  // latched once the Nth append fired
   bool fail_syncs_ = false;

@@ -32,6 +32,19 @@ Status WalWriter::AddBatch(uint32_t count, const Slice& entries) {
   return AddRecord(payload);
 }
 
+Status WalWriter::AddPrepare(uint64_t txn_id, const Slice& participants, uint32_t count,
+                             const Slice& entries) {
+  std::string payload;
+  payload.reserve(entries.size() + participants.size() + 1 + kMaxVarint64Bytes +
+                  kMaxVarint32Bytes);
+  payload.push_back(static_cast<char>(kWalPrepareRecordTag));
+  PutVarint64(&payload, txn_id);
+  payload.append(participants.data(), participants.size());
+  PutVarint32(&payload, count);
+  payload.append(entries.data(), entries.size());
+  return AddRecord(payload);
+}
+
 bool WalReader::ReadRecord(std::string* payload) {
   char header[8];
   Slice h;
@@ -63,16 +76,18 @@ bool WalReader::ReadRecord(std::string* payload) {
 }
 
 Status WalReader::ReplayUpdates(
-    const std::function<void(const Slice& key, const Slice& value, ValueType type)>& fn) {
+    const std::function<void(const Slice& key, const Slice& value, ValueType type)>& fn,
+    const PrepareFn& prepare_fn) {
   std::string payload;
+  std::vector<uint32_t> participants;
   while (ReadRecord(&payload)) {
     Slice in(payload);
     if (in.empty()) {
       return Status::Corruption("empty WAL record");
     }
-    // One decoder for both record kinds: a batch body is exactly
-    // WriteBatch::rep(), and a legacy single-update record is exactly a
-    // one-entry rep.
+    // One decoder for all record kinds: a batch body is exactly
+    // WriteBatch::rep(), a legacy single-update record is exactly a
+    // one-entry rep, and a prepare record wraps a rep in a txn header.
     if (static_cast<uint8_t>(in[0]) == kWalBatchRecordTag) {
       in.remove_prefix(1);
       uint32_t count = 0;
@@ -82,6 +97,34 @@ Status WalReader::ReplayUpdates(
       Status s = WriteBatch::IterateRep(in, count, fn);
       if (!s.ok()) {
         return Status::Corruption("malformed WAL batch record");
+      }
+    } else if (static_cast<uint8_t>(in[0]) == kWalPrepareRecordTag) {
+      in.remove_prefix(1);
+      uint64_t txn_id = 0;
+      uint32_t nshards = 0;
+      if (!GetVarint64(&in, &txn_id) || !GetVarint32(&in, &nshards) || nshards > (1u << 16)) {
+        return Status::Corruption("malformed WAL prepare header");
+      }
+      participants.clear();
+      participants.reserve(nshards);
+      for (uint32_t i = 0; i < nshards; ++i) {
+        uint32_t shard = 0;
+        if (!GetVarint32(&in, &shard)) {
+          return Status::Corruption("malformed WAL prepare participant list");
+        }
+        participants.push_back(shard);
+      }
+      uint32_t count = 0;
+      if (!GetVarint32(&in, &count)) {
+        return Status::Corruption("malformed WAL prepare header");
+      }
+      // Replay only when the caller vouches for a durable commit marker;
+      // an orphaned prepare (no marker) is discarded whole.
+      if (prepare_fn && prepare_fn(txn_id, participants, count, in)) {
+        Status s = WriteBatch::IterateRep(in, count, fn);
+        if (!s.ok()) {
+          return Status::Corruption("malformed WAL prepare record");
+        }
       }
     } else {
       Status s = WriteBatch::IterateRep(in, 1, fn);

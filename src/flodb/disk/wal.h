@@ -13,10 +13,19 @@
 //   the group-commit unit; its body is exactly WriteBatch::rep():
 //     uint8 2 | varint32 count | count × (uint8 type | klen | key | vlen | value)
 //
+//   prepare record (tag == kWalPrepareRecordTag), one per shard touched by
+//   a cross-shard transaction — phase 1 of the router's two-phase commit.
+//   Carries the transaction id and the participant shard set so recovery
+//   can match it against the router's commit-marker log:
+//     uint8 3 | varint64 txn_id | varint32 nshards | nshards × varint32 shard
+//            | varint32 count | count × (uint8 type | klen | key | vlen | value)
+//
 // Because the CRC covers the whole payload, a batch is durability-atomic:
-// recovery replays it entirely or not at all. The reader stops cleanly at
-// a truncated/corrupt tail (normal crash outcome) and reports genuine
-// mid-log corruption as an error.
+// recovery replays it entirely or not at all. A prepare record is only
+// replayed when the caller confirms its transaction committed (a durable
+// commit marker exists); otherwise it is an orphan and is skipped. The
+// reader stops cleanly at a truncated/corrupt tail (normal crash outcome)
+// and reports genuine mid-log corruption as an error.
 
 #ifndef FLODB_DISK_WAL_H_
 #define FLODB_DISK_WAL_H_
@@ -24,6 +33,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "flodb/common/slice.h"
 #include "flodb/common/status.h"
@@ -35,6 +45,9 @@ namespace flodb {
 // First payload byte of a batch record. Legacy single-update records
 // start with the ValueType byte (0 or 1), so 2 is unambiguous.
 inline constexpr uint8_t kWalBatchRecordTag = 2;
+
+// First payload byte of a cross-shard transaction prepare record.
+inline constexpr uint8_t kWalPrepareRecordTag = 3;
 
 class WalWriter {
  public:
@@ -50,6 +63,13 @@ class WalWriter {
   // Appends ONE framed batch record holding `count` updates encoded as in
   // WriteBatch::rep() — the whole batch commits or recovers as a unit.
   Status AddBatch(uint32_t count, const Slice& entries);
+
+  // Appends ONE framed prepare record for a cross-shard transaction:
+  // this shard's slice of the batch plus the txn id and participant set.
+  // `participants` is pre-encoded as varint32 nshards | nshards × varint32
+  // shard index (shared across all shards of the transaction).
+  Status AddPrepare(uint64_t txn_id, const Slice& participants, uint32_t count,
+                    const Slice& entries);
 
   Status Sync() { return file_->Sync(); }
   Status Close() { return file_->Close(); }
@@ -71,11 +91,22 @@ class WalReader {
   // tail, which is expected after a crash).
   Status status() const { return status_; }
 
+  // Decides the fate of a prepare record met during replay: receives the
+  // txn id, the decoded participant shard set and this shard's entry
+  // payload; returns true to replay the entries (the transaction has a
+  // durable commit marker) or false to skip them (orphaned prepare).
+  using PrepareFn = std::function<bool(uint64_t txn_id,
+                                       const std::vector<uint32_t>& participants, uint32_t count,
+                                       const Slice& entries)>;
+
   // Replays every well-formed update through fn, expanding batch records
   // in order. A truncated tail record is dropped whole — a half-written
-  // batch never partially replays.
+  // batch never partially replays. Prepare records are offered to
+  // prepare_fn (at their log position, preserving WAL order); with no
+  // prepare_fn they are conservatively skipped as orphans.
   Status ReplayUpdates(
-      const std::function<void(const Slice& key, const Slice& value, ValueType type)>& fn);
+      const std::function<void(const Slice& key, const Slice& value, ValueType type)>& fn,
+      const PrepareFn& prepare_fn = nullptr);
 
  private:
   std::unique_ptr<SequentialFile> file_;

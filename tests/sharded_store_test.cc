@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "flodb/bench_util/workload.h"
@@ -525,6 +527,127 @@ TEST(ShardedStoreTest, SingleShardStatParityWithPlainFloDB) {
   // op-count surface above is.
   EXPECT_EQ(a.membuffer_adds + a.memtable_direct_adds,
             b.membuffer_adds + b.memtable_direct_adds);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard atomicity and snapshot consistency (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+// Quarter q of the keyspace is exactly shard q of 4.
+std::string QK(int shard, uint64_t i) {
+  return EncodeKey(static_cast<uint64_t>(shard) * (uint64_t{1} << 62) + i);
+}
+
+// The merged iterator must expose each entry's REAL sequence number
+// (regression: the shard adapter used to hardcode seq()=0, which made
+// every merged entry look like it predated the beginning of time).
+TEST(ShardedStoreTest, MergedIteratorThreadsRealSequenceNumbers) {
+  MemEnv env;
+  std::unique_ptr<ShardedKVStore> store;
+  ASSERT_TRUE(OpenSharded(BaseOptions(&env, 4), &store).ok());
+  for (int q = 0; q < 4; ++q) {
+    ASSERT_TRUE(store->Put(Slice(QK(q, 1)), Slice("first")).ok());
+  }
+  std::vector<uint64_t> first_seqs;
+  {
+    auto it = store->NewScanIterator(ReadOptions(), Slice(), Slice());
+    for (; it->Valid(); it->Next()) {
+      EXPECT_GE(it->seq(), 1u) << "hardcoded seq resurfaced";
+      first_seqs.push_back(it->seq());
+    }
+    ASSERT_EQ(first_seqs.size(), 4u);
+  }
+  for (int q = 0; q < 4; ++q) {
+    ASSERT_TRUE(store->Put(Slice(QK(q, 1)), Slice("second")).ok());
+  }
+  auto it = store->NewScanIterator(ReadOptions(), Slice(), Slice());
+  size_t i = 0;
+  for (; it->Valid(); it->Next(), ++i) {
+    EXPECT_EQ(it->value().ToString(), "second");
+    EXPECT_GT(it->seq(), first_seqs[i]) << "the overwrite must carry a newer seq";
+  }
+  EXPECT_EQ(i, 4u);
+}
+
+// Merged scans vs racing cross-shard writers: each transaction writes
+// the SAME round value to one key per shard, so any snapshot that mixes
+// rounds is a torn read. The write fence must make every scan see one
+// round across all four shards. (Each shard stream's first chunk holds
+// the shard's single key, so the whole snapshot materializes under the
+// fence — the documented single-chunk consistency case.)
+TEST(ShardedStoreTest, MergedScanNeverObservesHalfACrossShardBatch) {
+  MemEnv env;
+  std::unique_ptr<ShardedKVStore> store;
+  ASSERT_TRUE(OpenSharded(BaseOptions(&env, 4), &store).ok());
+  ASSERT_TRUE(store->AtomicMode());
+  constexpr uint64_t kScans = 300;
+  {
+    WriteBatch seed;
+    for (int q = 0; q < 4; ++q) {
+      seed.Put(Slice(QK(q, 0)), Slice("0"));
+    }
+    ASSERT_TRUE(store->Write(WriteOptions(), &seed).ok());
+  }
+  // The scanner paces the test: the writer keeps committing rounds until
+  // every scan has run, so each scan genuinely races a write.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> writer_failed{false};
+  std::atomic<uint64_t> rounds{0};
+  std::thread writer([&] {
+    for (uint64_t r = 1; !stop.load(); ++r) {
+      WriteBatch batch;
+      const std::string v = std::to_string(r);
+      for (int q = 0; q < 4; ++q) {
+        batch.Put(Slice(QK(q, 0)), Slice(v));
+      }
+      if (!store->Write(WriteOptions(), &batch).ok()) {
+        writer_failed.store(true);
+        break;
+      }
+      rounds.store(r);
+    }
+  });
+  for (uint64_t scan = 0; scan < kScans; ++scan) {
+    auto it = store->NewScanIterator(ReadOptions(), Slice(), Slice());
+    std::vector<std::string> values;
+    for (; it->Valid(); it->Next()) {
+      values.push_back(it->value().ToString());
+    }
+    ASSERT_EQ(values.size(), 4u);
+    for (size_t i = 1; i < values.size(); ++i) {
+      ASSERT_EQ(values[i], values[0])
+          << "torn snapshot: shard 0 at round " << values[0] << ", shard " << i << " at round "
+          << values[i];
+    }
+  }
+  stop.store(true);
+  writer.join();
+  ASSERT_FALSE(writer_failed.load());
+  EXPECT_GT(rounds.load(), 0u);
+  EXPECT_EQ(store->GetStats().txn_commits, rounds.load() + 1);
+}
+
+// An explicit piggyback snapshot opts out of the fence: it must still
+// work (weaker per-shard consistency), just without the cross-shard
+// guarantee.
+TEST(ShardedStoreTest, PiggybackSnapshotOptsOutOfTheFence) {
+  MemEnv env;
+  std::unique_ptr<ShardedKVStore> store;
+  ASSERT_TRUE(OpenSharded(BaseOptions(&env, 4), &store).ok());
+  WriteBatch batch;
+  for (int q = 0; q < 4; ++q) {
+    batch.Put(Slice(QK(q, 0)), Slice("v"));
+  }
+  ASSERT_TRUE(store->Write(WriteOptions(), &batch).ok());
+  ReadOptions piggyback;
+  piggyback.snapshot_mode = SnapshotMode::kPiggyback;
+  auto it = store->NewScanIterator(piggyback, Slice(), Slice());
+  size_t count = 0;
+  for (; it->Valid(); it->Next()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+  EXPECT_TRUE(it->status().ok());
 }
 
 // Balance sanity: a uniform keyspace spreads across every shard.

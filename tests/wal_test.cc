@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "flodb/common/coding.h"
+#include "flodb/core/write_batch.h"
 #include "flodb/disk/mem_env.h"
 
 namespace flodb {
@@ -124,6 +126,83 @@ TEST_F(WalTest, LargeRecords) {
                   .ok());
   EXPECT_EQ(key, "bigkey");
   EXPECT_EQ(value, big);
+}
+
+// Prepare records (two-phase commit, DESIGN.md §8): the txn header round-
+// trips, and the embedded entries replay ONLY when the prepare callback
+// vouches for a commit marker — an unvouched prepare is skipped whole and
+// later records still replay.
+TEST_F(WalTest, PrepareRecordsReplayOnlyWhenVouchedFor) {
+  WriteBatch committed_batch;
+  committed_batch.Put(Slice("ka"), Slice("va"));
+  committed_batch.Delete(Slice("kb"));
+  WriteBatch orphaned_batch;
+  orphaned_batch.Put(Slice("kx"), Slice("never"));
+  std::string participants;  // shard set {1, 3}
+  PutVarint32(&participants, 2);
+  PutVarint32(&participants, 1);
+  PutVarint32(&participants, 3);
+
+  auto writer = NewWriter("/wal");
+  ASSERT_TRUE(writer
+                  ->AddPrepare(7, Slice(participants),
+                               static_cast<uint32_t>(committed_batch.Count()),
+                               Slice(committed_batch.rep()))
+                  .ok());
+  ASSERT_TRUE(writer
+                  ->AddPrepare(9, Slice(participants),
+                               static_cast<uint32_t>(orphaned_batch.Count()),
+                               Slice(orphaned_batch.rep()))
+                  .ok());
+  ASSERT_TRUE(writer->AddUpdate(Slice("after"), Slice("v"), ValueType::kValue).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto reader = NewReader("/wal");
+  std::vector<std::tuple<std::string, std::string, ValueType>> replayed;
+  std::vector<uint64_t> seen_txns;
+  std::vector<std::vector<uint32_t>> seen_participants;
+  ASSERT_TRUE(reader
+                  ->ReplayUpdates(
+                      [&](const Slice& key, const Slice& value, ValueType type) {
+                        replayed.emplace_back(key.ToString(), value.ToString(), type);
+                      },
+                      [&](uint64_t txn_id, const std::vector<uint32_t>& shards, uint32_t count,
+                          const Slice&) {
+                        seen_txns.push_back(txn_id);
+                        seen_participants.push_back(shards);
+                        EXPECT_GT(count, 0u);
+                        return txn_id == 7;  // only txn 7 has a marker
+                      })
+                  .ok());
+  ASSERT_EQ(seen_txns, (std::vector<uint64_t>{7, 9}));
+  ASSERT_EQ(seen_participants[0], (std::vector<uint32_t>{1, 3}));
+  // Txn 7's two entries replay in order; txn 9 is skipped whole; the
+  // trailing plain update still replays.
+  ASSERT_EQ(replayed.size(), 3u);
+  EXPECT_EQ(std::get<0>(replayed[0]), "ka");
+  EXPECT_EQ(std::get<1>(replayed[0]), "va");
+  EXPECT_EQ(std::get<0>(replayed[1]), "kb");
+  EXPECT_EQ(std::get<2>(replayed[1]), ValueType::kTombstone);
+  EXPECT_EQ(std::get<0>(replayed[2]), "after");
+}
+
+// Without a prepare callback the replayer must skip prepares entirely
+// (a reader that predates 2PC state never resurrects uncommitted data).
+TEST_F(WalTest, PrepareRecordsSkippedWithoutCallback) {
+  WriteBatch batch;
+  batch.Put(Slice("k"), Slice("v"));
+  std::string participants;
+  PutVarint32(&participants, 1);
+  PutVarint32(&participants, 0);
+  auto writer = NewWriter("/wal");
+  ASSERT_TRUE(
+      writer->AddPrepare(3, Slice(participants), 1, Slice(batch.rep())).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  auto reader = NewReader("/wal");
+  int count = 0;
+  ASSERT_TRUE(
+      reader->ReplayUpdates([&](const Slice&, const Slice&, ValueType) { ++count; }).ok());
+  EXPECT_EQ(count, 0);
 }
 
 TEST_F(WalTest, ManyRecords) {
