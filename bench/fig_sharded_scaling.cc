@@ -13,6 +13,15 @@
 //   FLODB_BENCH_SHARDS   comma list of shard counts  (default "1,2,4,8")
 //   FLODB_BENCH_THREADS  thread counts; each is run  (default "4")
 //   --json out.json      machine-readable rows (also FLODB_BENCH_JSON)
+//
+// When the sweep covers shards 1 and 4, the binary evaluates the
+// acceptance bar (>= 1.5x at shards=4) itself — except on boxes with
+// hardware_concurrency < 4, where splitting buys nothing and the bar is
+// reported as skipped instead of failed. Set
+// FLODB_BENCH_ENFORCE_SCALING=1 to turn a FAIL into exit 1 (off by
+// default so slow shared runners don't flake the smoke job).
+
+#include <thread>
 
 #include "system_sweep.h"
 
@@ -37,6 +46,9 @@ int main(int argc, char** argv) {
   workload.value_bytes = config.value_bytes;
 
   const bool json = !config.json_path.empty();
+  // Best shards=4-vs-1 speedup seen across the thread sweep, for the
+  // acceptance-bar verdict below.
+  double best_speedup_at_4 = -1.0;
   for (int threads : config.threads) {
     // Collect the whole sweep first: the speedup column is always
     // relative to the shards=1 row (falling back to the first row when 1
@@ -67,6 +79,9 @@ int main(int argc, char** argv) {
     }
     for (const Cell& cell : cells) {
       const double speedup = baseline > 0 ? cell.mops / baseline : 0;
+      if (cell.shards == 4 && speedup > best_speedup_at_4) {
+        best_speedup_at_4 = speedup;
+      }
       report.Row({std::to_string(threads), std::to_string(cell.shards), Report::Fmt(cell.mops, 3),
                   Report::Fmt(speedup, 2) + "x", cell.name});
       report.Csv({std::to_string(threads), std::to_string(cell.shards), Report::Fmt(cell.mops, 4),
@@ -83,5 +98,26 @@ int main(int argc, char** argv) {
     }
   }
   report.WriteJson(config.json_path);
+
+  // Acceptance bar: >= 1.5x write throughput at shards=4 vs shards=1.
+  // Splitting one core four ways cannot scale, so don't pretend the bar
+  // was measured there (ROADMAP: single-core containers show ~0.85x).
+  if (best_speedup_at_4 >= 0) {
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores < 4) {
+      printf("ACCEPTANCE fig_sharded_scaling: skipped (single-core runner: "
+             "hardware_concurrency=%u < 4)\n",
+             cores);
+    } else {
+      const bool pass = best_speedup_at_4 >= 1.5;
+      printf("ACCEPTANCE fig_sharded_scaling: %s (%.2fx at shards=4 vs shards=1, bar 1.50x, "
+             "hardware_concurrency=%u)\n",
+             pass ? "PASS" : "FAIL", best_speedup_at_4, cores);
+      const char* enforce = getenv("FLODB_BENCH_ENFORCE_SCALING");
+      if (!pass && enforce != nullptr && *enforce == '1') {
+        return 1;
+      }
+    }
+  }
   return 0;
 }

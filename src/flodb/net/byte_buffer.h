@@ -1,0 +1,82 @@
+// ByteBuffer: the per-connection read/write ring used by the network
+// layer (DESIGN.md §11). A contiguous byte queue with a consumed prefix:
+// readers see [ReadPtr, ReadPtr + Readable), writers append at the tail.
+// The consumed prefix is reclaimed by sliding the live region to the
+// front — but ONLY inside EnsureWritable/Append, never inside Consume, so
+// zero-copy Slices handed out by the RESP parser stay valid for the whole
+// parse-dispatch cycle of a read burst (no appends happen mid-burst).
+//
+// Not thread-safe; each connection is pinned to one event-loop worker.
+
+#ifndef FLODB_NET_BYTE_BUFFER_H_
+#define FLODB_NET_BYTE_BUFFER_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace flodb {
+
+class ByteBuffer {
+ public:
+  explicit ByteBuffer(size_t initial_capacity = 4096) { buf_.resize(initial_capacity); }
+
+  // ---- read side ----
+  const char* ReadPtr() const { return buf_.data() + read_; }
+  size_t Readable() const { return write_ - read_; }
+  bool Empty() const { return read_ == write_; }
+
+  // Advances the read cursor without moving memory (pointers into the
+  // readable region stay valid until the next EnsureWritable/Append).
+  void Consume(size_t n) {
+    read_ += n;
+    if (read_ == write_) {
+      read_ = write_ = 0;  // cheap full reset, no memmove
+    }
+  }
+
+  // ---- write side ----
+
+  // Returns a pointer to at least `n` contiguous writable bytes, sliding
+  // the live region to the front (and growing the backing store) as
+  // needed. Invalidates previously returned read pointers.
+  char* EnsureWritable(size_t n) {
+    if (buf_.size() - write_ < n) {
+      Compact();
+      if (buf_.size() - write_ < n) {
+        size_t want = write_ + n;
+        size_t cap = buf_.size() < 64 ? 64 : buf_.size();
+        while (cap < want) cap *= 2;
+        buf_.resize(cap);
+      }
+    }
+    return buf_.data() + write_;
+  }
+  void CommitWrite(size_t n) { write_ += n; }
+
+  void Append(const void* data, size_t n) {
+    std::memcpy(EnsureWritable(n), data, n);
+    write_ += n;
+  }
+  void Append(std::string_view s) { Append(s.data(), s.size()); }
+
+  size_t Capacity() const { return buf_.size(); }
+
+ private:
+  void Compact() {
+    if (read_ > 0) {
+      std::memmove(buf_.data(), buf_.data() + read_, write_ - read_);
+      write_ -= read_;
+      read_ = 0;
+    }
+  }
+
+  std::vector<char> buf_;
+  size_t read_ = 0;   // first unconsumed byte
+  size_t write_ = 0;  // first free byte
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_NET_BYTE_BUFFER_H_

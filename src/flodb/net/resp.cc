@@ -1,0 +1,203 @@
+#include "flodb/net/resp.h"
+
+#include <cstdio>
+
+namespace flodb {
+namespace {
+
+// Parses a decimal integer terminated by CRLF starting at data[pos].
+// Returns false while the line is incomplete; a malformed line (no
+// digits, junk before CR, value over `cap`) sets *bad.
+bool ParseCrlfInt(const char* data, size_t len, size_t pos, int64_t cap, int64_t* value,
+                  size_t* next, bool* bad) {
+  *bad = false;
+  size_t i = pos;
+  bool negative = false;
+  if (i < len && (data[i] == '-' || data[i] == '+')) {
+    negative = data[i] == '-';
+    ++i;
+  }
+  int64_t v = 0;
+  size_t digits = 0;
+  while (i < len && data[i] >= '0' && data[i] <= '9') {
+    v = v * 10 + (data[i] - '0');
+    ++digits;
+    if (digits > 12 || v > cap) {  // 12 digits > any sane frame header
+      *bad = true;
+      return false;
+    }
+    ++i;
+  }
+  if (i + 1 >= len) {
+    // Could still be mid-number or awaiting CRLF — but only if what we
+    // saw so far is a valid prefix.
+    if (digits == 0 && i == len) {
+      return false;  // nothing after the type byte yet
+    }
+    if (i < len && data[i] != '\r') {
+      *bad = true;
+      return false;
+    }
+    return false;
+  }
+  if (digits == 0 || data[i] != '\r' || data[i + 1] != '\n') {
+    *bad = true;
+    return false;
+  }
+  *value = negative ? -v : v;
+  *next = i + 2;
+  return true;
+}
+
+}  // namespace
+
+RespParse RespParser::Next(const char* data, size_t len, RespCommand* cmd, size_t* consumed,
+                           std::string* error) {
+  cmd->args.clear();
+  *consumed = 0;
+  if (len < min_frame_bytes_) {
+    return RespParse::kNeedMore;  // promised bytes still in flight
+  }
+  min_frame_bytes_ = 0;
+
+  size_t pos = 0;
+  // Skip empty inline lines (bare CRLF / LF), as Redis does.
+  while (pos < len && (data[pos] == '\r' || data[pos] == '\n')) {
+    ++pos;
+  }
+  if (pos == len) {
+    *consumed = pos;
+    return RespParse::kNeedMore;
+  }
+
+  if (data[pos] != '*') {
+    // Inline command: one line, arguments split on spaces/tabs.
+    size_t eol = pos;
+    while (eol < len && data[eol] != '\n') {
+      ++eol;
+    }
+    if (eol == len) {
+      if (len - pos > limits_.max_inline_bytes) {
+        *error = "Protocol error: too big inline request";
+        return RespParse::kError;
+      }
+      return RespParse::kNeedMore;
+    }
+    size_t line_end = eol > pos && data[eol - 1] == '\r' ? eol - 1 : eol;
+    if (line_end - pos > limits_.max_inline_bytes) {
+      *error = "Protocol error: too big inline request";
+      return RespParse::kError;
+    }
+    size_t i = pos;
+    while (i < line_end) {
+      while (i < line_end && (data[i] == ' ' || data[i] == '\t')) {
+        ++i;
+      }
+      size_t start = i;
+      while (i < line_end && data[i] != ' ' && data[i] != '\t') {
+        ++i;
+      }
+      if (i > start) {
+        cmd->args.emplace_back(data + start, i - start);
+      }
+    }
+    *consumed = eol + 1;
+    if (cmd->args.empty()) {
+      return RespParse::kNeedMore;  // whitespace-only line; consumed & skipped
+    }
+    return RespParse::kCommand;
+  }
+
+  // Multibulk: *<argc>\r\n then argc × ($<len>\r\n<payload>\r\n).
+  int64_t argc = 0;
+  size_t next = 0;
+  bool bad = false;
+  if (!ParseCrlfInt(data, len, pos + 1, static_cast<int64_t>(limits_.max_args), &argc, &next,
+                    &bad)) {
+    if (bad) {
+      *error = "Protocol error: invalid multibulk length";
+      return RespParse::kError;
+    }
+    return RespParse::kNeedMore;
+  }
+  if (argc < 0) {
+    *error = "Protocol error: invalid multibulk length";
+    return RespParse::kError;
+  }
+  pos = next;
+  cmd->args.reserve(static_cast<size_t>(argc));
+  for (int64_t i = 0; i < argc; ++i) {
+    if (pos == len) {
+      return RespParse::kNeedMore;
+    }
+    if (data[pos] != '$') {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "Protocol error: expected '$', got '%c'", data[pos]);
+      *error = buf;
+      return RespParse::kError;
+    }
+    int64_t blen = 0;
+    if (!ParseCrlfInt(data, len, pos + 1, static_cast<int64_t>(limits_.max_bulk_bytes), &blen,
+                      &next, &bad)) {
+      if (bad) {
+        *error = "Protocol error: invalid bulk length";
+        return RespParse::kError;
+      }
+      return RespParse::kNeedMore;
+    }
+    if (blen < 0) {
+      *error = "Protocol error: invalid bulk length";
+      return RespParse::kError;
+    }
+    pos = next;
+    const size_t need = static_cast<size_t>(blen) + 2;
+    if (len - pos < need) {
+      cmd->args.clear();
+      return NeedAtLeast(pos + need);
+    }
+    if (data[pos + blen] != '\r' || data[pos + blen + 1] != '\n') {
+      *error = "Protocol error: bulk payload not CRLF-terminated";
+      return RespParse::kError;
+    }
+    cmd->args.emplace_back(data + pos, static_cast<size_t>(blen));
+    pos += need;
+  }
+  *consumed = pos;
+  return RespParse::kCommand;
+}
+
+void RespAppendSimple(std::string* out, std::string_view s) {
+  out->push_back('+');
+  out->append(s);
+  out->append("\r\n");
+}
+
+void RespAppendError(std::string* out, std::string_view msg) {
+  out->push_back('-');
+  out->append(msg);
+  out->append("\r\n");
+}
+
+void RespAppendInteger(std::string* out, int64_t v) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), ":%lld\r\n", static_cast<long long>(v));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void RespAppendBulk(std::string* out, std::string_view s) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "$%zu\r\n", s.size());
+  out->append(buf, static_cast<size_t>(n));
+  out->append(s);
+  out->append("\r\n");
+}
+
+void RespAppendNil(std::string* out) { out->append("$-1\r\n"); }
+
+void RespAppendArrayHeader(std::string* out, size_t n) {
+  char buf[32];
+  int len = std::snprintf(buf, sizeof(buf), "*%zu\r\n", n);
+  out->append(buf, static_cast<size_t>(len));
+}
+
+}  // namespace flodb

@@ -1,0 +1,86 @@
+// RESP2 wire protocol: an incremental, zero-copy request parser plus
+// reply encoders (DESIGN.md §11).
+//
+// The parser consumes client *commands* — RESP multibulk arrays
+// ("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n") and the inline form ("GET k\r\n") —
+// directly out of the connection's read buffer. On success the returned
+// RespCommand's argument Slices POINT INTO that buffer: no bytes are
+// copied until the command handler decides what to keep. A frame that has
+// not fully arrived yet parses to kNeedMore with nothing consumed, so
+// partial reads simply retry after the next read burst (the parser keeps
+// a "bytes still missing" hint to short-circuit the re-scan of a large
+// half-arrived bulk). Malformed or oversized frames parse to kError; the
+// server replies -ERR and closes, because resynchronizing a corrupt
+// binary stream is guesswork (same policy as Redis).
+//
+// Reply encoders append RESP2-encoded values to a std::string, which the
+// connection then moves into its write buffer.
+
+#ifndef FLODB_NET_RESP_H_
+#define FLODB_NET_RESP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flodb/common/slice.h"
+
+namespace flodb {
+
+// Frame-size ceilings. Oversized frames are protocol errors: they
+// protect the server from a single connection ballooning its read buffer
+// (e.g. a "$2147483647" bulk header) rather than limiting real payloads.
+struct RespLimits {
+  size_t max_bulk_bytes = 64u << 20;  // one argument's payload
+  size_t max_args = 1u << 20;         // arguments per command
+  size_t max_inline_bytes = 64u << 10;
+};
+
+// One parsed command; args[0] is the verb. Slices alias the read buffer
+// and stay valid until bytes are appended to (or compacted out of) it.
+struct RespCommand {
+  std::vector<Slice> args;
+};
+
+enum class RespParse : uint8_t {
+  kCommand,   // *cmd filled; *consumed bytes belong to this frame
+  kNeedMore,  // incomplete frame; nothing consumed, retry after more bytes
+  kError,     // malformed/oversized frame; *error filled, connection dead
+};
+
+class RespParser {
+ public:
+  explicit RespParser(const RespLimits& limits = RespLimits()) : limits_(limits) {}
+
+  // Parses one command from data[0, len). Empty inline lines (bare CRLF)
+  // are skipped and reported in *consumed like Redis. On kCommand,
+  // *consumed covers the frame (caller consumes it from the buffer after
+  // dispatch); cmd->args alias `data`.
+  RespParse Next(const char* data, size_t len, RespCommand* cmd, size_t* consumed,
+                 std::string* error);
+
+ private:
+  RespParse NeedAtLeast(size_t total) {
+    min_frame_bytes_ = total;
+    return RespParse::kNeedMore;
+  }
+
+  RespLimits limits_;
+  // Re-scan short-circuit: a frame whose headers already promised
+  // `min_frame_bytes_` total bytes cannot complete before they arrive.
+  size_t min_frame_bytes_ = 0;
+};
+
+// ---- reply encoders ----
+
+void RespAppendSimple(std::string* out, std::string_view s);   // +s\r\n
+void RespAppendError(std::string* out, std::string_view msg);  // -msg\r\n
+void RespAppendInteger(std::string* out, int64_t v);           // :v\r\n
+void RespAppendBulk(std::string* out, std::string_view s);     // $len\r\ns\r\n
+void RespAppendNil(std::string* out);                          // $-1\r\n
+void RespAppendArrayHeader(std::string* out, size_t n);        // *n\r\n
+
+}  // namespace flodb
+
+#endif  // FLODB_NET_RESP_H_

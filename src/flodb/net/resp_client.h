@@ -1,0 +1,78 @@
+// RespClient: a small blocking RESP2 client for flodb-cli, the loopback
+// tests and fig_server_qps. Supports pipelining explicitly: queue N
+// commands, Flush() them in one write, then ReadReply() N times.
+//
+// Not thread-safe; one connection per thread.
+
+#ifndef FLODB_NET_RESP_CLIENT_H_
+#define FLODB_NET_RESP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flodb/common/status.h"
+#include "flodb/net/byte_buffer.h"
+
+namespace flodb {
+
+// One decoded RESP reply (arrays recurse).
+struct RespReply {
+  enum class Type : uint8_t { kSimple, kError, kInteger, kBulk, kNil, kArray };
+  Type type = Type::kNil;
+  std::string str;     // kSimple / kError / kBulk payload
+  int64_t integer = 0;
+  std::vector<RespReply> elements;  // kArray
+
+  bool IsOk() const { return type == Type::kSimple && str == "OK"; }
+};
+
+class RespClient {
+ public:
+  RespClient() = default;
+  ~RespClient() { Close(); }
+
+  RespClient(const RespClient&) = delete;
+  RespClient& operator=(const RespClient&) = delete;
+
+  RespClient(RespClient&& other) noexcept
+      : fd_(other.fd_), send_(std::move(other.send_)), recv_(std::move(other.recv_)) {
+    other.fd_ = -1;
+  }
+  RespClient& operator=(RespClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      send_ = std::move(other.send_);
+      recv_ = std::move(other.recv_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool Connected() const { return fd_ >= 0; }
+
+  // Encodes `args` as a RESP multibulk command into the send buffer
+  // (nothing hits the wire until Flush).
+  void QueueCommand(const std::vector<std::string>& args);
+  // Writes the whole send buffer (the pipelined burst) to the socket.
+  Status Flush();
+  // Blocking-reads one reply off the socket.
+  Status ReadReply(RespReply* out);
+
+  // Convenience round trip: queue + flush + read one reply.
+  Status Command(const std::vector<std::string>& args, RespReply* out);
+
+ private:
+  Status FillBuffer();  // one blocking recv into recv_
+
+  int fd_ = -1;
+  std::string send_;
+  ByteBuffer recv_{16 << 10};
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_NET_RESP_CLIENT_H_

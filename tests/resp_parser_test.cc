@@ -1,0 +1,246 @@
+// RespParser: incremental multibulk + inline parsing, partial-frame
+// tolerance (byte-at-a-time feeding), oversized-frame rejection, and the
+// reply encoders' exact wire bytes.
+
+#include "flodb/net/resp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace flodb {
+namespace {
+
+// Runs the parser over `wire` and returns every parsed command as a
+// vector of argument strings, asserting no protocol error occurs.
+std::vector<std::vector<std::string>> ParseAll(const std::string& wire,
+                                               const RespLimits& limits = RespLimits()) {
+  RespParser parser(limits);
+  std::vector<std::vector<std::string>> commands;
+  size_t pos = 0;
+  for (;;) {
+    RespCommand cmd;
+    size_t consumed = 0;
+    std::string error;
+    const RespParse r =
+        parser.Next(wire.data() + pos, wire.size() - pos, &cmd, &consumed, &error);
+    EXPECT_NE(r, RespParse::kError) << error;
+    if (r == RespParse::kError) {
+      break;
+    }
+    pos += consumed;
+    if (r == RespParse::kNeedMore) {
+      if (consumed == 0) {
+        break;
+      }
+      continue;
+    }
+    std::vector<std::string> args;
+    for (const Slice& arg : cmd.args) {
+      args.push_back(arg.ToString());
+    }
+    commands.push_back(std::move(args));
+  }
+  return commands;
+}
+
+TEST(RespParserTest, MultibulkBasic) {
+  const auto cmds = ParseAll("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nvalue\r\n");
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0], (std::vector<std::string>{"SET", "k", "value"}));
+}
+
+TEST(RespParserTest, MultibulkBackToBack) {
+  const auto cmds =
+      ParseAll("*1\r\n$4\r\nPING\r\n*2\r\n$3\r\nGET\r\n$1\r\nx\r\n*1\r\n$4\r\nINFO\r\n");
+  ASSERT_EQ(cmds.size(), 3u);
+  EXPECT_EQ(cmds[0][0], "PING");
+  EXPECT_EQ(cmds[1], (std::vector<std::string>{"GET", "x"}));
+  EXPECT_EQ(cmds[2][0], "INFO");
+}
+
+TEST(RespParserTest, BinaryPayloadWithEmbeddedCrlf) {
+  const std::string value = "a\r\nb\0c";
+  std::string wire = "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$";
+  wire += std::to_string(value.size()) + "\r\n";
+  wire.append(value.data(), value.size());
+  wire += "\r\n";
+  const auto cmds = ParseAll(wire);
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0][2], std::string(value.data(), value.size()));
+}
+
+TEST(RespParserTest, EmptyBulkArgument) {
+  const auto cmds = ParseAll("*2\r\n$3\r\nGET\r\n$0\r\n\r\n");
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0][1], "");
+}
+
+TEST(RespParserTest, ZeroArgArrayYieldsEmptyCommand) {
+  RespParser parser;
+  RespCommand cmd;
+  size_t consumed = 0;
+  std::string error;
+  const std::string wire = "*0\r\n";
+  EXPECT_EQ(parser.Next(wire.data(), wire.size(), &cmd, &consumed, &error),
+            RespParse::kCommand);
+  EXPECT_TRUE(cmd.args.empty());
+  EXPECT_EQ(consumed, wire.size());
+}
+
+// The partial-read tolerance that matters in production: a frame arriving
+// one byte at a time must parse to kNeedMore (consuming nothing) at every
+// cut point, then parse whole once the last byte lands.
+TEST(RespParserTest, PartialFramesByteAtATime) {
+  const std::string wire = "*3\r\n$3\r\nSET\r\n$3\r\nkey\r\n$5\r\nhello\r\n";
+  RespParser parser;
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    RespCommand cmd;
+    size_t consumed = 0;
+    std::string error;
+    const RespParse r = parser.Next(wire.data(), cut, &cmd, &consumed, &error);
+    ASSERT_EQ(r, RespParse::kNeedMore) << "cut at " << cut;
+    ASSERT_EQ(consumed, 0u) << "cut at " << cut;
+  }
+  RespCommand cmd;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(parser.Next(wire.data(), wire.size(), &cmd, &consumed, &error), RespParse::kCommand);
+  EXPECT_EQ(consumed, wire.size());
+  ASSERT_EQ(cmd.args.size(), 3u);
+  EXPECT_EQ(cmd.args[2].ToString(), "hello");
+}
+
+TEST(RespParserTest, LargeBulkArrivingInChunksUsesTheSizeHint) {
+  const std::string payload(100000, 'x');
+  std::string wire = "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$" + std::to_string(payload.size()) + "\r\n" +
+                     payload + "\r\n";
+  RespParser parser;
+  RespCommand cmd;
+  size_t consumed = 0;
+  std::string error;
+  // Half the payload present: incomplete.
+  EXPECT_EQ(parser.Next(wire.data(), wire.size() / 2, &cmd, &consumed, &error),
+            RespParse::kNeedMore);
+  // Still short of the promised frame size: the parser's byte hint makes
+  // this a cheap rejection, and it must still be kNeedMore.
+  EXPECT_EQ(parser.Next(wire.data(), wire.size() - 1, &cmd, &consumed, &error),
+            RespParse::kNeedMore);
+  ASSERT_EQ(parser.Next(wire.data(), wire.size(), &cmd, &consumed, &error), RespParse::kCommand);
+  EXPECT_EQ(cmd.args[2].size(), payload.size());
+}
+
+TEST(RespParserTest, InlineCommand) {
+  const auto cmds = ParseAll("PING\r\n");
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0], (std::vector<std::string>{"PING"}));
+}
+
+TEST(RespParserTest, InlineSplitsOnWhitespace) {
+  const auto cmds = ParseAll("SET  key\t\tvalue \r\n");
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0], (std::vector<std::string>{"SET", "key", "value"}));
+}
+
+TEST(RespParserTest, InlineToleratesBareLf) {
+  const auto cmds = ParseAll("GET k\n");
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0], (std::vector<std::string>{"GET", "k"}));
+}
+
+TEST(RespParserTest, BlankLinesAreSkipped) {
+  const auto cmds = ParseAll("\r\n\r\nPING\r\n\r\nGET k\r\n");
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0][0], "PING");
+  EXPECT_EQ(cmds[1][0], "GET");
+}
+
+TEST(RespParserTest, InlineThenMultibulkMix) {
+  const auto cmds = ParseAll("PING\r\n*2\r\n$3\r\nGET\r\n$1\r\nk\r\nSET a b\r\n");
+  ASSERT_EQ(cmds.size(), 3u);
+  EXPECT_EQ(cmds[0][0], "PING");
+  EXPECT_EQ(cmds[1][0], "GET");
+  EXPECT_EQ(cmds[2], (std::vector<std::string>{"SET", "a", "b"}));
+}
+
+// ---- rejection paths ----
+
+void ExpectError(const std::string& wire, const RespLimits& limits = RespLimits()) {
+  RespParser parser(limits);
+  RespCommand cmd;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(parser.Next(wire.data(), wire.size(), &cmd, &consumed, &error), RespParse::kError)
+      << wire;
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RespParserTest, RejectsOversizedBulk) {
+  RespLimits limits;
+  limits.max_bulk_bytes = 1024;
+  ExpectError("*2\r\n$3\r\nGET\r\n$2048\r\n", limits);
+}
+
+TEST(RespParserTest, RejectsOversizedArgCount) {
+  RespLimits limits;
+  limits.max_args = 16;
+  ExpectError("*1000\r\n", limits);
+}
+
+TEST(RespParserTest, RejectsOversizedInlineLine) {
+  RespLimits limits;
+  limits.max_inline_bytes = 32;
+  // No newline in sight and already past the cap: reject rather than
+  // buffering without bound.
+  ExpectError(std::string(64, 'a'), limits);
+}
+
+TEST(RespParserTest, RejectsMalformedArrayHeader) {
+  ExpectError("*abc\r\n");
+  ExpectError("*1x\r\n");
+  ExpectError("*-1\r\n");
+}
+
+TEST(RespParserTest, RejectsMalformedBulkHeader) {
+  ExpectError("*1\r\n$xyz\r\n");
+  ExpectError("*1\r\n$-5\r\n");
+  ExpectError("*1\r\nX3\r\nfoo\r\n");  // '$' expected
+}
+
+TEST(RespParserTest, RejectsBulkPayloadWithoutCrlf) {
+  ExpectError("*1\r\n$3\r\nfooXY");
+}
+
+TEST(RespParserTest, RejectsAbsurdIntegerHeader) {
+  ExpectError("*184467440737095516150000\r\n");
+}
+
+// ---- reply encoders: exact wire bytes ----
+
+TEST(RespEncodeTest, WireFormats) {
+  std::string out;
+  RespAppendSimple(&out, "OK");
+  EXPECT_EQ(out, "+OK\r\n");
+  out.clear();
+  RespAppendError(&out, "ERR boom");
+  EXPECT_EQ(out, "-ERR boom\r\n");
+  out.clear();
+  RespAppendInteger(&out, -42);
+  EXPECT_EQ(out, ":-42\r\n");
+  out.clear();
+  RespAppendBulk(&out, "hi");
+  EXPECT_EQ(out, "$2\r\nhi\r\n");
+  out.clear();
+  RespAppendBulk(&out, "");
+  EXPECT_EQ(out, "$0\r\n\r\n");
+  out.clear();
+  RespAppendNil(&out);
+  EXPECT_EQ(out, "$-1\r\n");
+  out.clear();
+  RespAppendArrayHeader(&out, 3);
+  EXPECT_EQ(out, "*3\r\n");
+}
+
+}  // namespace
+}  // namespace flodb
