@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Dead-link lint for the repo docs: every relative markdown link in
+*.md (repo root and docs/) must point at a file or directory that
+exists. External links (http/https/mailto) and pure #anchors are not
+checked — this is a filesystem check, not a crawler.
+
+Usage:
+    check_doc_links.py [repo_root]
+
+Stdlib only: CI must not pip install anything.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target captured up to the closing paren; markdown
+# images ![alt](target) match the same way via the inner [..](..).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files(root):
+    for name in sorted(os.listdir(root)):
+        if name.endswith(".md"):
+            yield os.path.join(root, name)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for dirpath, _, names in os.walk(docs):
+            for name in sorted(names):
+                if name.endswith(".md"):
+                    yield os.path.join(dirpath, name)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = []
+    checked = 0
+    for path in doc_files(root):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            checked += 1
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                failures.append(f"{rel}: dead link -> {match.group(1)}")
+    if failures:
+        for failure in failures:
+            print("FAIL: " + failure)
+        return 1
+    print(f"PASS: {checked} relative doc links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

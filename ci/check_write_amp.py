@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Gate compaction amplification: every fig_compaction row must report
+write-amp and space-amp under the configured bounds at the quiesced
+steady state.
+
+Usage:
+    check_write_amp.py BENCH_fig_compaction.json \
+        [--max-write-amp 8.0] [--max-space-amp 4.0]
+
+Consumes the --json output of bench/fig_compaction. The bounds are
+deliberately loose — local runs sit near write-amp 2.5 and space-amp 1.4
+with the bench's shrunken level targets — so only a real regression
+(compaction stopped dropping shadowed versions, the picker stopped
+scheduling, obsolete files stopped being deleted) trips them. Read
+throughput is gated separately by check_bench_regression.py against
+ci/bench_baselines/BENCH_fig_compaction.json.
+
+Stdlib only: CI must not pip install anything.
+"""
+
+import argparse
+import json
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("--max-write-amp", type=float, default=8.0,
+                        help="max steady-state write amplification (default 8.0)")
+    parser.add_argument("--max-space-amp", type=float, default=4.0,
+                        help="max steady-state space amplification (default 4.0)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        doc = json.load(f)
+    rows = doc.get("rows", [])
+    if not rows:
+        print("FAIL: no rows in " + args.current)
+        return 1
+
+    failures = []
+    for row in rows:
+        threads = row.get("threads")
+        write_amp = row.get("write_amp")
+        space_amp = row.get("space_amp")
+        if write_amp is None or space_amp is None:
+            failures.append(f"threads={threads}: missing write_amp/space_amp")
+            continue
+        print(f"threads={threads}: write_amp {write_amp:.2f} "
+              f"(max {args.max_write_amp:.2f}), space_amp {space_amp:.2f} "
+              f"(max {args.max_space_amp:.2f})")
+        if write_amp > args.max_write_amp:
+            failures.append(f"threads={threads}: write_amp {write_amp:.2f} "
+                            f"> {args.max_write_amp:.2f}")
+        if space_amp > args.max_space_amp:
+            failures.append(f"threads={threads}: space_amp {space_amp:.2f} "
+                            f"> {args.max_space_amp:.2f}")
+        if row.get("compactions", 0) < 1:
+            failures.append(f"threads={threads}: no compactions ran during churn")
+
+    if failures:
+        for failure in failures:
+            print("FAIL: " + failure)
+        return 1
+    print("PASS: compaction amplification within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -196,6 +196,15 @@ Status ShardedKVStore::Open(const FloDbOptions& options, std::unique_ptr<Sharded
   }
   if (options.disk.compaction_threads > 0) {
     shard_options.disk.compaction_threads = std::max(1, options.disk.compaction_threads / n);
+    // Every shard keeps >= 1 worker so it can always drain its own L0,
+    // but the floor means n shards would otherwise run up to n
+    // compactions at once regardless of the configured budget. A shared
+    // limiter restores the global bound: workers beyond the pre-split
+    // total block before doing any merge I/O.
+    if (shard_options.disk.compaction_limiter == nullptr && n > 1) {
+      shard_options.disk.compaction_limiter =
+          std::make_shared<CompactionThreadLimiter>(options.disk.compaction_threads);
+    }
   }
   // Read-path caches split like the memory budget, with floors so a high
   // shard count cannot silently flip caching off (0 keeps meaning

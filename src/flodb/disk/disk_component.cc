@@ -4,17 +4,32 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "flodb/common/coding.h"
+#include "flodb/disk/level_iterator.h"
 #include "flodb/disk/merging_iterator.h"
 #include "flodb/disk/table_builder.h"
 
 namespace flodb {
 
+namespace {
+
+CompactionConfig MakeCompactionConfig(const DiskOptions& options) {
+  CompactionConfig config;
+  config.num_levels = options.num_levels;
+  config.l0_compaction_trigger = options.l0_compaction_trigger;
+  config.l1_max_bytes = options.l1_max_bytes;
+  config.level_size_multiplier = options.level_size_multiplier;
+  return config;
+}
+
+}  // namespace
+
 DiskComponent::DiskComponent(const DiskOptions& options)
     : options_(options),
       level_busy_(options.num_levels, false),
-      compact_cursor_(options.num_levels) {}
+      picker_(MakeCompactionConfig(options)) {}
 
 // RAII registration of an output file number in pending_outputs_.
 struct DiskComponent::PendingOutput {
@@ -49,6 +64,13 @@ Status DiskComponent::Open(const DiskOptions& options, std::unique_ptr<DiskCompo
     // turns off block caching.
     return Status::InvalidArgument("table_cache_entries must be >= 1");
   }
+  for (const int bits : options.bloom_bits_per_level) {
+    if (bits < 1) {
+      // A zero entry would silently disable the filter for a level and
+      // turn every miss into a table read; require an explicit >= 1.
+      return Status::InvalidArgument("bloom_bits_per_level entries must be >= 1");
+    }
+  }
   auto dc = std::unique_ptr<DiskComponent>(new DiskComponent(options));
   if (options.block_cache_bytes > 0) {
     dc->block_cache_ = std::make_unique<ShardedLruCache>(options.block_cache_bytes);
@@ -64,6 +86,25 @@ Status DiskComponent::Open(const DiskOptions& options, std::unique_ptr<DiskCompo
   if (!s.ok()) {
     return s;
   }
+  // A crash mid-compaction leaves orphan outputs (.sst files never
+  // installed in a version) and possibly a stale manifest; sweep them
+  // before background work starts. The counter bump moves orphans below
+  // the GC barrier so the sweep can touch them.
+  dc->options_.env->RemoveFile(options.path + "/CURRENT.tmp");
+  {
+    std::vector<std::string> children;
+    if (dc->options_.env->GetChildren(options.path, &children).ok()) {
+      uint64_t max_number = 0;
+      for (const std::string& name : children) {
+        if (name.size() >= 5 && name.substr(name.size() - 4) == ".sst") {
+          max_number = std::max(
+              max_number, static_cast<uint64_t>(strtoull(name.c_str(), nullptr, 10)));
+        }
+      }
+      dc->versions_->EnsureFileNumberAtLeast(max_number + 1);
+    }
+  }
+  dc->RemoveObsoleteFiles();
   for (int i = 0; i < options.compaction_threads; ++i) {
     dc->workers_.emplace_back([raw = dc.get()] { raw->BackgroundWork(); });
   }
@@ -157,7 +198,7 @@ Status DiskComponent::AddRun(Iterator* iter) {
   }
   TableBuilder::Options builder_options;
   builder_options.block_bytes = options_.block_bytes;
-  builder_options.bloom_bits_per_key = options_.bloom_bits_per_key;
+  builder_options.bloom_bits_per_key = BloomBits(/*level=*/0);
   TableBuilder builder(builder_options, file.get());
 
   std::string last_key;
@@ -302,98 +343,39 @@ std::unique_ptr<Iterator> DiskComponent::NewIterator() const {
   std::shared_ptr<const Version> version = versions_->Current();
   std::vector<std::unique_ptr<Iterator>> children;
   std::vector<std::shared_ptr<TableReader>> tables;
-  for (int level = 0; level < version->NumLevels(); ++level) {
-    for (const FileMetaData& f : version->LevelFiles(level)) {
-      std::shared_ptr<TableReader> table = GetTable(f.number, f.file_size);
-      if (table == nullptr) {
-        continue;  // surfaced via status of other children in practice
-      }
-      children.push_back(table->NewIterator());
-      tables.push_back(std::move(table));
+  // L0 files overlap: each needs its own merge child.
+  for (const FileMetaData& f : version->LevelFiles(0)) {
+    std::shared_ptr<TableReader> table = GetTable(f.number, f.file_size);
+    if (table == nullptr) {
+      continue;  // surfaced via status of other children in practice
+    }
+    children.push_back(table->NewIterator());
+    tables.push_back(std::move(table));
+  }
+  // Levels >= 1 are disjoint and sorted: one lazy concatenating child per
+  // level keeps the merge heap O(L0 + levels) wide instead of O(files),
+  // and a Seek opens only the one file per level that can hold the
+  // target.
+  TableOpener opener = [this](uint64_t number, uint64_t file_size) {
+    return GetTable(number, file_size);
+  };
+  for (int level = 1; level < version->NumLevels(); ++level) {
+    if (!version->LevelFiles(level).empty()) {
+      children.push_back(NewLevelIterator(version->LevelFiles(level), opener));
     }
   }
   return std::make_unique<VersionPinnedIterator>(NewMergingIterator(std::move(children)),
                                                  std::move(version), std::move(tables));
 }
 
-uint64_t DiskComponent::MaxBytesForLevel(int level) const {
-  uint64_t max_bytes = options_.l1_max_bytes;
-  for (int l = 1; l < level; ++l) {
-    max_bytes *= static_cast<uint64_t>(options_.level_size_multiplier);
-  }
-  return max_bytes;
-}
-
-bool DiskComponent::NeedsCompaction(const Version& v, int* out_level) const {
-  if (static_cast<int>(v.LevelFiles(0).size()) >= options_.l0_compaction_trigger) {
-    *out_level = 0;
-    return true;
-  }
-  for (int level = 1; level < v.NumLevels() - 1; ++level) {
-    if (v.LevelBytes(level) > MaxBytesForLevel(level)) {
-      *out_level = level;
-      return true;
-    }
-  }
-  return false;
-}
-
-bool DiskComponent::PickCompaction(CompactionJob* job) {
+bool DiskComponent::PickCompactionLocked(CompactionJob* job) {
   std::shared_ptr<const Version> v = versions_->Current();
-
-  // L0 -> L1 first: it is the flush pressure-release valve.
-  if (static_cast<int>(v->LevelFiles(0).size()) >= options_.l0_compaction_trigger &&
-      !level_busy_[0] && !level_busy_[1]) {
-    job->level = 0;
-    job->inputs_lo = v->LevelFiles(0);
-    std::string smallest, largest;
-    for (const FileMetaData& f : job->inputs_lo) {
-      if (smallest.empty() || Slice(f.smallest).compare(Slice(smallest)) < 0) {
-        smallest = f.smallest;
-      }
-      if (largest.empty() || Slice(f.largest).compare(Slice(largest)) > 0) {
-        largest = f.largest;
-      }
-    }
-    job->inputs_hi = v->OverlappingFiles(1, Slice(smallest), Slice(largest));
-    job->drop_tombstones = v->IsBottommostForRange(1, Slice(smallest), Slice(largest));
-    level_busy_[0] = true;
-    level_busy_[1] = true;
-    return true;
+  if (!picker_.Pick(*v, level_busy_, job)) {
+    return false;
   }
-
-  for (int level = 1; level < v->NumLevels() - 1; ++level) {
-    if (v->LevelBytes(level) <= MaxBytesForLevel(level) || level_busy_[level] ||
-        level_busy_[level + 1]) {
-      continue;
-    }
-    const auto& files = v->LevelFiles(level);
-    if (files.empty()) {
-      continue;
-    }
-    // Round-robin across the key space (LevelDB's compact_pointer).
-    const FileMetaData* pick = nullptr;
-    for (const FileMetaData& f : files) {
-      if (compact_cursor_[level].empty() ||
-          Slice(f.smallest).compare(Slice(compact_cursor_[level])) > 0) {
-        pick = &f;
-        break;
-      }
-    }
-    if (pick == nullptr) {
-      pick = &files[0];  // wrapped around
-    }
-    compact_cursor_[level] = pick->largest;
-    job->level = level;
-    job->inputs_lo = {*pick};
-    job->inputs_hi = v->OverlappingFiles(level + 1, Slice(pick->smallest), Slice(pick->largest));
-    job->drop_tombstones =
-        v->IsBottommostForRange(level + 1, Slice(pick->smallest), Slice(pick->largest));
-    level_busy_[level] = true;
-    level_busy_[level + 1] = true;
-    return true;
-  }
-  return false;
+  level_busy_[job->level] = true;
+  level_busy_[job->level + 1] = true;
+  return true;
 }
 
 Status DiskComponent::DoCompaction(const CompactionJob& job) {
@@ -427,7 +409,7 @@ Status DiskComponent::DoCompaction(const CompactionJob& job) {
   std::vector<std::unique_ptr<PendingOutput>> pending;  // GC shields, held past install
   TableBuilder::Options builder_options;
   builder_options.block_bytes = options_.block_bytes;
-  builder_options.bloom_bits_per_key = options_.bloom_bits_per_key;
+  builder_options.bloom_bits_per_key = BloomBits(out_level);
 
   auto finish_output = [&]() -> Status {
     if (builder == nullptr) {
@@ -523,23 +505,32 @@ void DiskComponent::RemoveObsoleteFiles() {
     std::lock_guard<std::mutex> lock(pending_mu_);
     live.insert(pending_outputs_.begin(), pending_outputs_.end());
   }
+  const uint64_t live_manifest = versions_->CurrentManifestNumber();
   std::vector<std::string> children;
   if (!options_.env->GetChildren(options_.path, &children).ok()) {
     return;
   }
   for (const std::string& name : children) {
-    if (name.size() < 5 || name.substr(name.size() - 4) != ".sst") {
-      continue;
+    if (name.size() >= 5 && name.substr(name.size() - 4) == ".sst") {
+      const uint64_t number = static_cast<uint64_t>(strtoull(name.c_str(), nullptr, 10));
+      if (number >= barrier || live.count(number) != 0) {
+        continue;
+      }
+      options_.env->RemoveFile(options_.path + "/" + name);
+      // Dropping the table handle tears down its reader (once unpinned),
+      // which purges the file's blocks from the block cache.
+      char buf[8];
+      table_cache_->Erase(TableCacheKey(number, buf));
+    } else if (name.rfind("MANIFEST-", 0) == 0) {
+      // Failed or crashed snapshot writes strand manifests below the one
+      // CURRENT points at. Higher numbers are never touched: one may be
+      // a concurrent LogAndApply mid-write.
+      const uint64_t number =
+          static_cast<uint64_t>(strtoull(name.c_str() + strlen("MANIFEST-"), nullptr, 10));
+      if (number < live_manifest) {
+        options_.env->RemoveFile(options_.path + "/" + name);
+      }
     }
-    const uint64_t number = static_cast<uint64_t>(strtoull(name.c_str(), nullptr, 10));
-    if (number >= barrier || live.count(number) != 0) {
-      continue;
-    }
-    options_.env->RemoveFile(options_.path + "/" + name);
-    // Dropping the table handle tears down its reader (once unpinned),
-    // which purges the file's blocks from the block cache.
-    char buf[8];
-    table_cache_->Erase(TableCacheKey(number, buf));
   }
 }
 
@@ -547,7 +538,7 @@ void DiskComponent::BackgroundWork() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     CompactionJob job;
-    while (!stop_ && !PickCompaction(&job)) {
+    while (!stop_ && !PickCompactionLocked(&job)) {
       work_cv_.wait(lock);
     }
     if (stop_) {
@@ -555,7 +546,16 @@ void DiskComponent::BackgroundWork() {
     }
     ++active_compactions_;
     lock.unlock();
+    // The cross-shard bound is taken OUTSIDE mu_ (blocking with the
+    // scheduling lock held would freeze AddRun's stall check) and only
+    // around the I/O: picking is cheap, merging is not.
+    if (options_.compaction_limiter != nullptr) {
+      options_.compaction_limiter->Acquire();
+    }
     Status s = DoCompaction(job);
+    if (options_.compaction_limiter != nullptr) {
+      options_.compaction_limiter->Release();
+    }
     if (!s.ok()) {
       fprintf(stderr, "flodb: compaction failed: %s\n", s.ToString().c_str());
       // Back off: a transient I/O failure retries; a persistent one must
@@ -579,9 +579,8 @@ void DiskComponent::WaitForCompactions() {
     std::unique_lock<std::mutex> lock(mu_);
     work_cv_.notify_all();
     idle_cv_.wait(lock, [&] {
-      int level;
       return stop_ ||
-             (active_compactions_ == 0 && !NeedsCompaction(*versions_->Current(), &level));
+             (active_compactions_ == 0 && !picker_.NeedsCompaction(*versions_->Current()));
     });
   }
   // Concurrent GC passes can leave a file obsoleted by the final
@@ -589,11 +588,38 @@ void DiskComponent::WaitForCompactions() {
   RemoveObsoleteFiles();
 }
 
+Status DiskComponent::CompactOnce(bool* did_work) {
+  CompactionJob job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!PickCompactionLocked(&job)) {
+      if (did_work != nullptr) {
+        *did_work = false;
+      }
+      return Status::OK();
+    }
+    ++active_compactions_;
+  }
+  Status s = DoCompaction(job);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_compactions_;
+    level_busy_[job.level] = false;
+    level_busy_[job.level + 1] = false;
+  }
+  idle_cv_.notify_all();
+  if (did_work != nullptr) {
+    *did_work = true;
+  }
+  return s;
+}
+
 DiskComponent::Stats DiskComponent::GetStats() const {
   Stats stats;
   std::shared_ptr<const Version> v = versions_->Current();
   for (int level = 0; level < v->NumLevels(); ++level) {
     stats.files_per_level.push_back(static_cast<int>(v->LevelFiles(level).size()));
+    stats.bytes_per_level.push_back(v->LevelBytes(level));
   }
   stats.bytes_flushed = bytes_flushed_.load(std::memory_order_relaxed);
   stats.bytes_compacted_in = bytes_compacted_in_.load(std::memory_order_relaxed);

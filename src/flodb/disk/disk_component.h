@@ -23,6 +23,7 @@
 #include "flodb/common/cache.h"
 #include "flodb/common/slice.h"
 #include "flodb/common/status.h"
+#include "flodb/disk/compaction.h"
 #include "flodb/disk/env.h"
 #include "flodb/disk/iterator.h"
 #include "flodb/disk/table_reader.h"
@@ -37,6 +38,13 @@ struct DiskOptions {
   size_t sstable_target_bytes = 2u << 20;  // output rolling size (compactions)
   size_t block_bytes = 4096;
   int bloom_bits_per_key = 10;
+
+  // Per-level bloom sizing. Empty (default) derives a ladder from
+  // bloom_bits_per_key: L0/L1 get +2 bits (every point read probes
+  // them), L2/L3 the default, L4+ max(5, default-4). A non-empty vector
+  // is authoritative per level (entries must be >= 1; levels past its
+  // end reuse the last entry). See BloomBitsForLevel in compaction.h.
+  std::vector<int> bloom_bits_per_level;
 
   // Shared LRU block cache over decoded data blocks, keyed
   // (file_number, block_index) and charged by byte size. 0 disables
@@ -55,6 +63,13 @@ struct DiskOptions {
   int level_size_multiplier = 10;
 
   int compaction_threads = 1;      // 0 disables background compaction
+
+  // Optional shared bound on concurrently RUNNING compactions across
+  // DiskComponent instances. ShardedKVStore installs one sized to the
+  // pre-split compaction_threads total, so 8 shards with a budget of 2
+  // still run at most 2 compactions at once even though every shard
+  // keeps its own worker thread. Null = no cross-instance bound.
+  std::shared_ptr<CompactionThreadLimiter> compaction_limiter;
 };
 
 class DiskComponent {
@@ -73,18 +88,29 @@ class DiskComponent {
   // Point lookup across all levels; freshest version wins.
   Status Get(const Slice& key, std::string* value, uint64_t* seq, ValueType* type) const;
 
-  // Merged iterator over every file; duplicate user keys surface freshest
-  // first (callers skip the rest). Pins the current Version for its
-  // lifetime.
+  // Merged scan: one child per L0 file plus ONE lazy concatenating
+  // iterator per deeper level (levels are disjoint, so a Seek opens only
+  // the file containing the target). Duplicate user keys surface
+  // freshest first (callers skip the rest). Pins the current Version for
+  // its lifetime.
   std::unique_ptr<Iterator> NewIterator() const;
 
   // Blocks until no compaction is needed or running.
   void WaitForCompactions();
 
+  // Synchronously picks and runs ONE compaction job; *did_work reports
+  // whether a job was available. For deterministic tests (run with
+  // compaction_threads == 0 so no background worker races the caller).
+  Status CompactOnce(bool* did_work);
+
   uint64_t MaxPersistedSeq() const { return versions_->MaxPersistedSeq(); }
+
+  // The pinned current version — level shape for tests and diagnostics.
+  std::shared_ptr<const Version> CurrentVersion() const { return versions_->Current(); }
 
   struct Stats {
     std::vector<int> files_per_level;
+    std::vector<uint64_t> bytes_per_level;  // sums to the space on disk
     uint64_t bytes_flushed = 0;
     uint64_t bytes_compacted_in = 0;
     uint64_t bytes_compacted_out = 0;
@@ -120,22 +146,17 @@ class DiskComponent {
   ShardedLruCache* table_cache() const { return table_cache_.get(); }
 
  private:
-  struct CompactionJob {
-    int level = -1;  // inputs: `level` and `level + 1`; outputs: level + 1
-    std::vector<FileMetaData> inputs_lo;
-    std::vector<FileMetaData> inputs_hi;
-    bool drop_tombstones = false;
-  };
-
   explicit DiskComponent(const DiskOptions& options);
 
   std::shared_ptr<TableReader> GetTable(uint64_t number, uint64_t file_size) const;
 
-  uint64_t MaxBytesForLevel(int level) const;
-  bool NeedsCompaction(const Version& v, int* out_level) const;
+  int BloomBits(int level) const {
+    return BloomBitsForLevel(options_.bloom_bits_per_level, options_.bloom_bits_per_key, level);
+  }
 
-  // REQUIRES: mu_ held. Returns true and fills *job if work is available.
-  bool PickCompaction(CompactionJob* job);
+  // REQUIRES: mu_ held. Returns true, fills *job and marks both job
+  // levels busy if work is available.
+  bool PickCompactionLocked(CompactionJob* job);
   Status DoCompaction(const CompactionJob& job);
   void BackgroundWork();
   void RemoveObsoleteFiles();
@@ -163,7 +184,7 @@ class DiskComponent {
   std::condition_variable work_cv_;   // new work available
   std::condition_variable idle_cv_;   // compaction finished / L0 shrank
   std::vector<bool> level_busy_;
-  std::vector<std::string> compact_cursor_;  // round-robin key per level
+  CompactionPicker picker_;  // cursors guarded by mu_
   int active_compactions_ = 0;
   bool stop_ = false;
   std::vector<std::thread> workers_;

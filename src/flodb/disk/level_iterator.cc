@@ -1,0 +1,114 @@
+#include "flodb/disk/level_iterator.h"
+
+#include <utility>
+
+namespace flodb {
+
+namespace {
+
+class LevelIterator final : public Iterator {
+ public:
+  LevelIterator(std::vector<FileMetaData> files, TableOpener opener, bool fill_cache)
+      : files_(std::move(files)), opener_(std::move(opener)), fill_cache_(fill_cache) {}
+
+  bool Valid() const override { return iter_ != nullptr && iter_->Valid(); }
+
+  void SeekToFirst() override {
+    index_ = 0;
+    if (!OpenCurrent()) {
+      return;
+    }
+    iter_->SeekToFirst();
+    SkipEmptyFilesForward();
+  }
+
+  void Seek(const Slice& target) override {
+    // First file whose largest key is >= target: with disjoint sorted
+    // ranges it is the only file that can contain the target, and every
+    // later file is entirely past it.
+    size_t lo = 0, hi = files_.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (Slice(files_[mid].largest).compare(target) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    index_ = lo;
+    if (!OpenCurrent()) {
+      return;
+    }
+    iter_->Seek(target);
+    SkipEmptyFilesForward();
+  }
+
+  void Next() override {
+    iter_->Next();
+    SkipEmptyFilesForward();
+  }
+
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+  uint64_t seq() const override { return iter_->seq(); }
+  ValueType type() const override { return iter_->type(); }
+
+  Status status() const override {
+    if (!status_.ok()) {
+      return status_;
+    }
+    return iter_ != nullptr ? iter_->status() : Status::OK();
+  }
+
+ private:
+  // Opens files_[index_]; false when past the end or on open failure
+  // (which latches status_ and invalidates the iterator).
+  bool OpenCurrent() {
+    iter_.reset();
+    table_.reset();
+    if (index_ >= files_.size()) {
+      return false;
+    }
+    table_ = opener_(files_[index_].number, files_[index_].file_size);
+    if (table_ == nullptr) {
+      status_ = Status::IOError("cannot open table file for level iterator");
+      return false;
+    }
+    iter_ = table_->NewIterator(fill_cache_);
+    return true;
+  }
+
+  // Advances to the next file while the current position is exhausted.
+  void SkipEmptyFilesForward() {
+    while (iter_ != nullptr && !iter_->Valid()) {
+      if (!iter_->status().ok()) {
+        status_ = iter_->status();
+        iter_.reset();
+        return;
+      }
+      ++index_;
+      if (!OpenCurrent()) {
+        return;
+      }
+      iter_->SeekToFirst();
+    }
+  }
+
+  const std::vector<FileMetaData> files_;
+  const TableOpener opener_;
+  const bool fill_cache_;
+
+  size_t index_ = 0;
+  std::shared_ptr<TableReader> table_;  // pins the open table (and its blocks)
+  std::unique_ptr<Iterator> iter_;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewLevelIterator(std::vector<FileMetaData> files, TableOpener opener,
+                                           bool fill_cache) {
+  return std::make_unique<LevelIterator>(std::move(files), std::move(opener), fill_cache);
+}
+
+}  // namespace flodb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "flodb/common/coding.h"
 #include "flodb/disk/crc32c.h"
@@ -93,12 +94,26 @@ Status VersionSet::Recover() {
   while (!current_contents.empty() && current_contents.back() == '\n') {
     current_contents.pop_back();
   }
+  // Resume manifest numbering from CURRENT. Restarting at zero would make
+  // the next snapshot reuse the number of (or a number below) the live
+  // manifest — a failed write then deletes the only manifest on disk.
+  const std::string kPrefix = "MANIFEST-";
+  if (current_contents.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return Status::Corruption("CURRENT does not name a manifest");
+  }
+  const uint64_t live_manifest = static_cast<uint64_t>(
+      strtoull(current_contents.c_str() + kPrefix.size(), nullptr, 10));
+  if (live_manifest == 0) {
+    return Status::Corruption("CURRENT names an invalid manifest number");
+  }
   std::shared_ptr<Version> v;
   s = LoadSnapshot(dbname_ + "/" + current_contents, &v);
   if (!s.ok()) {
     return s;
   }
   std::lock_guard<std::mutex> lock(mu_);
+  manifest_number_ = live_manifest;
+  current_manifest_number_ = live_manifest;
   current_ = std::move(v);
   RegisterVersionLocked(current_);
   return Status::OK();
@@ -136,15 +151,31 @@ Status VersionSet::WriteSnapshot(const Version& v) {
   if (!s.ok()) {
     return s;
   }
-  // Point CURRENT at the new manifest, then drop the old one.
+  // Repoint CURRENT atomically: write a temp file, sync it, rename over
+  // CURRENT (::rename is atomic on POSIX). Rewriting CURRENT in place
+  // would truncate it first, so a crash mid-write loses BOTH versions.
   const std::string manifest_basename = fname.substr(dbname_.size() + 1);
-  s = WriteStringToFile(env_, Slice(manifest_basename + "\n"), CurrentFileName(dbname_),
-                        /*sync=*/true);
+  const std::string tmp = CurrentFileName(dbname_) + ".tmp";
+  s = WriteStringToFile(env_, Slice(manifest_basename + "\n"), tmp, /*sync=*/true);
+  if (s.ok()) {
+    s = env_->RenameFile(tmp, CurrentFileName(dbname_));
+  }
   if (!s.ok()) {
+    // CURRENT still points at the old manifest; drop the orphan snapshot
+    // (never the live one — `number` was allocated above the resume
+    // point) so a later retry starts clean.
+    env_->RemoveFile(tmp);
+    env_->RemoveFile(fname);
     return s;
   }
-  if (number > 1) {
-    env_->RemoveFile(ManifestFileName(dbname_, number - 1));
+  // Drop the previously live manifest. Numbers are not always
+  // consecutive (a failed snapshot write burns one), so track the actual
+  // predecessor instead of assuming number - 1; open-time GC sweeps any
+  // strays a crash leaves behind.
+  const uint64_t old_manifest = current_manifest_number_;
+  current_manifest_number_ = number;
+  if (old_manifest > 0 && old_manifest != number) {
+    env_->RemoveFile(ManifestFileName(dbname_, old_manifest));
   }
   return Status::OK();
 }
@@ -246,6 +277,11 @@ Status VersionSet::LogAndApply(const VersionEdit& edit) {
   current_ = std::move(next);
   RegisterVersionLocked(current_);
   return Status::OK();
+}
+
+uint64_t VersionSet::CurrentManifestNumber() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_manifest_number_;
 }
 
 uint64_t VersionSet::MaxPersistedSeq() const {

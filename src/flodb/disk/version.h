@@ -96,6 +96,18 @@ class VersionSet {
 
   uint64_t NewFileNumber() { return next_file_number_.fetch_add(1, std::memory_order_relaxed); }
 
+  // Raises the file-number counter to at least `n`. Open calls this with
+  // one past the highest .sst found on disk: a crashed compaction's
+  // orphan outputs are numbered above the recovered manifest's counter,
+  // and without the bump they would (a) sit behind the GC barrier
+  // forever and (b) collide with numbers handed out after reopen.
+  void EnsureFileNumberAtLeast(uint64_t n) {
+    uint64_t cur = next_file_number_.load(std::memory_order_relaxed);
+    while (cur < n &&
+           !next_file_number_.compare_exchange_weak(cur, n, std::memory_order_relaxed)) {
+    }
+  }
+
   // The next number NewFileNumber would hand out. File GC uses this as a
   // barrier: a file numbered >= the barrier was born after the GC's
   // liveness snapshot and must not be touched.
@@ -115,6 +127,11 @@ class VersionSet {
   std::string TableFileName(uint64_t number) const;
   std::string DbPath() const { return dbname_; }
 
+  // Number of the manifest CURRENT points at. File GC keeps this one and
+  // reclaims lower-numbered MANIFEST files left behind by crashed or
+  // failed snapshot writes.
+  uint64_t CurrentManifestNumber() const;
+
  private:
   Status WriteSnapshot(const Version& v);
   Status LoadSnapshot(const std::string& manifest_file, std::shared_ptr<Version>* out);
@@ -131,7 +148,8 @@ class VersionSet {
   std::shared_ptr<const Version> current_;
   std::vector<std::weak_ptr<const Version>> registry_;
   std::atomic<uint64_t> next_file_number_{1};
-  uint64_t manifest_number_ = 0;
+  uint64_t manifest_number_ = 0;          // last number handed to a snapshot write
+  uint64_t current_manifest_number_ = 0;  // the one CURRENT points at
 };
 
 }  // namespace flodb

@@ -171,6 +171,42 @@ TEST_F(OptionsTest, ZeroTableCacheEntriesRejected) {
   EXPECT_TRUE(ShardedKVStore::Open(options, &sharded).IsInvalidArgument());
 }
 
+TEST_F(OptionsTest, ZeroBloomBitsPerLevelEntryRejected) {
+  // A zero entry would silently disable the filter for one level; the
+  // way to spend fewer bits on cold levels is a small positive value.
+  FloDbOptions options = ValidOptions();
+  options.disk.bloom_bits_per_level = {12, 10, 0};
+  EXPECT_TRUE(Open(options).IsInvalidArgument());
+  options.shards = 2;
+  std::unique_ptr<ShardedKVStore> sharded;
+  EXPECT_TRUE(ShardedKVStore::Open(options, &sharded).IsInvalidArgument());
+}
+
+TEST_F(OptionsTest, PerLevelBloomBitsAccepted) {
+  // Shorter-than-num_levels vectors are fine: deeper levels reuse the
+  // last entry (see BloomBitsForLevel).
+  FloDbOptions options = ValidOptions();
+  options.disk.bloom_bits_per_level = {14, 12, 8};
+  EXPECT_TRUE(Open(options).ok());
+}
+
+TEST_F(OptionsTest, ShardedOpenInstallsSharedCompactionLimiter) {
+  FloDbOptions options = ValidOptions();
+  options.memory_budget_bytes = 8u << 20;
+  options.shards = 4;
+  options.disk.compaction_threads = 2;
+  std::unique_ptr<ShardedKVStore> sharded;
+  ASSERT_TRUE(ShardedKVStore::Open(options, &sharded).ok());
+  const std::shared_ptr<CompactionThreadLimiter> limiter =
+      sharded->shard(0)->options().disk.compaction_limiter;
+  ASSERT_NE(limiter, nullptr);
+  EXPECT_EQ(limiter->max_concurrent(), 2);
+  for (int i = 1; i < sharded->NumShards(); ++i) {
+    // One limiter shared by every shard — not one per shard.
+    EXPECT_EQ(sharded->shard(i)->options().disk.compaction_limiter, limiter) << i;
+  }
+}
+
 TEST_F(OptionsTest, ZeroBlockCacheBytesDisablesCaching) {
   // 0 is a valid mode (block caching off), not an error.
   FloDbOptions options = ValidOptions();
