@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
 """Dead-link lint for the repo docs: every relative markdown link in
 *.md (repo root and docs/) must point at a file or directory that
-exists. External links (http/https/mailto) and pure #anchors are not
-checked — this is a filesystem check, not a crawler.
+exists, and every #anchor fragment — intra-document (#section) or
+cross-document (file.md#section) — must match a heading in the target
+file (GitHub slugification: lowercase, punctuation stripped, spaces to
+hyphens, -N suffixes for duplicates). External links (http/https/
+mailto) are not checked — this is a filesystem check, not a crawler.
 
 Usage:
     check_doc_links.py [repo_root]
@@ -17,6 +20,42 @@ import sys
 # [text](target) — target captured up to the closing paren; markdown
 # images ![alt](target) match the same way via the inner [..](..).
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+# Inline markup stripped before slugification: `code`, [text](url),
+# **bold** / *em* markers.
+INLINE_CODE_RE = re.compile(r"`([^`]*)`")
+INLINE_LINK_RE = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+
+
+def github_slug(heading):
+    text = INLINE_CODE_RE.sub(r"\1", heading)
+    text = INLINE_LINK_RE.sub(r"\1", text)
+    text = text.replace("*", "").replace("_", "").lower()
+    # GitHub keeps word characters, spaces and hyphens; everything else
+    # (punctuation like :, ., /, §, parens) is dropped.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(text):
+    """Anchors of every markdown heading, GitHub-style (-N for dupes)."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
 
 
 def doc_files(root):
@@ -35,26 +74,49 @@ def main():
     root = sys.argv[1] if len(sys.argv) > 1 else "."
     failures = []
     checked = 0
+    anchors_checked = 0
+    anchor_cache = {}
+
+    def anchors_of(path):
+        if path not in anchor_cache:
+            try:
+                with open(path, encoding="utf-8") as f:
+                    anchor_cache[path] = heading_anchors(f.read())
+            except OSError:
+                anchor_cache[path] = set()
+        return anchor_cache[path]
+
     for path in doc_files(root):
+        rel = os.path.relpath(path, root)
         with open(path, encoding="utf-8") as f:
             text = f.read()
         for match in LINK_RE.finditer(text):
-            target = match.group(1)
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            raw = match.group(1)
+            if raw.startswith(("http://", "https://", "mailto:")):
                 continue
-            target = target.split("#", 1)[0]
-            if not target:
+            target, _, fragment = raw.partition("#")
+            anchor_target = path  # pure #anchor: this document
+            if target:
+                checked += 1
+                resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+                if not os.path.exists(resolved):
+                    failures.append(f"{rel}: dead link -> {raw}")
+                    continue
+                anchor_target = resolved
+            if not fragment:
                 continue
-            checked += 1
-            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
-            if not os.path.exists(resolved):
-                rel = os.path.relpath(path, root)
-                failures.append(f"{rel}: dead link -> {match.group(1)}")
+            # Fragments are only checkable against markdown headings.
+            if not anchor_target.endswith(".md"):
+                continue
+            anchors_checked += 1
+            if fragment.lower() not in anchors_of(anchor_target):
+                failures.append(f"{rel}: dead anchor -> {raw}")
+
     if failures:
         for failure in failures:
             print("FAIL: " + failure)
         return 1
-    print(f"PASS: {checked} relative doc links resolve")
+    print(f"PASS: {checked} relative doc links and {anchors_checked} anchors resolve")
     return 0
 
 

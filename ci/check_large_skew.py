@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate value separation on the large-skew figure: the separated column
+must beat inline churn write-amp by the contracted margin without giving
+up zipfian read tail latency.
+
+Usage:
+    check_large_skew.py BENCH_fig_large_skew.json \
+        [--max-write-amp-ratio 0.5] [--max-p99-ratio 1.2]
+
+Consumes the --json output of bench/fig_large_skew, which emits exactly
+one "inline" (threshold 0) and one "separated" row. The bounds encode
+the feature's contract: under 1KB-value overwrite churn a vlog moves
+pointers through compaction instead of payloads, so separated write-amp
+must be <= half of inline (local runs sit near 0.4x), and the extra
+pointer hop on reads must cost <= 20% of inline p99 (local runs are at
+or below 1.0x once GC is quiesced). Sanity checks assert the separated
+row actually wrote a vlog and the inline row did not — a silently
+disabled threshold would otherwise sail through with ratio 1.0.
+
+Stdlib only: CI must not pip install anything.
+"""
+
+import argparse
+import json
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("--max-write-amp-ratio", type=float, default=0.5,
+                        help="max separated/inline churn write-amp ratio (default 0.5)")
+    parser.add_argument("--max-p99-ratio", type=float, default=1.2,
+                        help="max separated/inline read-p99 ratio (default 1.2)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        doc = json.load(f)
+    rows = {row.get("mode"): row for row in doc.get("rows", [])}
+    inline = rows.get("inline")
+    separated = rows.get("separated")
+    if inline is None or separated is None:
+        print("FAIL: need one 'inline' and one 'separated' row in " + args.current)
+        return 1
+
+    failures = []
+    for mode, row in (("inline", inline), ("separated", separated)):
+        if row.get("churn_writes", 0) <= 0:
+            failures.append(f"{mode}: no churn writes completed")
+        if row.get("reads", 0) <= 0:
+            failures.append(f"{mode}: no reads completed")
+    if inline.get("vlog_bytes_written", 0) != 0:
+        failures.append("inline: wrote vlog bytes with separation off")
+    if separated.get("vlog_bytes_written", 0) <= 0:
+        failures.append("separated: wrote no vlog bytes — threshold not in effect")
+
+    write_amp_ratio = (separated["write_amp"] / inline["write_amp"]
+                       if inline.get("write_amp") else float("inf"))
+    p99_ratio = (separated["read_p99_us"] / inline["read_p99_us"]
+                 if inline.get("read_p99_us") else float("inf"))
+    print(f"write_amp: inline {inline.get('write_amp'):.2f}, "
+          f"separated {separated.get('write_amp'):.2f}, "
+          f"ratio {write_amp_ratio:.2f} (max {args.max_write_amp_ratio:.2f})")
+    print(f"read p99:  inline {inline.get('read_p99_us'):.0f}us, "
+          f"separated {separated.get('read_p99_us'):.0f}us, "
+          f"ratio {p99_ratio:.2f} (max {args.max_p99_ratio:.2f})")
+    if write_amp_ratio > args.max_write_amp_ratio:
+        failures.append(f"write-amp ratio {write_amp_ratio:.2f} "
+                        f"> {args.max_write_amp_ratio:.2f}")
+    if p99_ratio > args.max_p99_ratio:
+        failures.append(f"read p99 ratio {p99_ratio:.2f} > {args.max_p99_ratio:.2f}")
+
+    if failures:
+        for failure in failures:
+            print("FAIL: " + failure)
+        return 1
+    print("PASS: value separation holds its write-amp/read-tail contract")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

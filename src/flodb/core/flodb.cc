@@ -72,6 +72,9 @@ Status FloDB::Open(const FloDbOptions& options, std::unique_ptr<FloDB>* out) {
     // above so this cannot silently ignore the requested parallelism.
     return Status::InvalidArgument("shards > 1 requires ShardedKVStore::Open");
   }
+  if (!options.enable_persistence && options.disk.value_separation_threshold > 0) {
+    return Status::InvalidArgument("value separation requires persistence");
+  }
 
   auto db = std::unique_ptr<FloDB>(new FloDB(options));
   if (options.enable_persistence) {
@@ -102,6 +105,11 @@ Status FloDB::Open(const FloDbOptions& options, std::unique_ptr<FloDB>* out) {
 FloDB::~FloDB() {
   StopBackgroundThreads();
   if (wal_ != nullptr) {
+    if (disk_ != nullptr && disk_->SeparationEnabled()) {
+      // Sync-ordering invariant: no durable WAL record may reference
+      // vlog bytes that did not reach disk (docs/STORAGE.md §10).
+      disk_->SyncValueLog();
+    }
     wal_->Sync();
     wal_->Close();
   }
@@ -136,12 +144,86 @@ void FloDB::WaitForMemtableHeadroom() {
   }
 }
 
+Status FloDB::SeparateLargeValues(WriteBatch* batch, WriteBatch* shadow,
+                                  std::vector<uint64_t>* pins, WriteBatch** commit) {
+  *commit = batch;
+  const int64_t threshold = options_.disk.value_separation_threshold;
+
+  // First pass: most batches carry no large value, and then the original
+  // rep commits untouched (and byte-identical to a separation-free build).
+  bool any = false;
+  Status s = batch->ForEach([&](const Slice&, const Slice& value, ValueType type) {
+    any = any ||
+          (type == ValueType::kValue && static_cast<int64_t>(value.size()) >= threshold);
+  });
+  if (!s.ok() || !any) {
+    return s;
+  }
+
+  // Second pass: rebuild with pointers in place of the large values. The
+  // appends happen BEFORE the WAL commit; the group leader syncs the vlog
+  // ahead of the WAL so a durable record never references lost bytes. A
+  // crash between here and the commit only strands garbage records in the
+  // vlog (reclaimed by GC), never a dangling pointer.
+  s = batch->ForEach([&](const Slice& key, const Slice& value, ValueType type) {
+    if (!s.ok()) {
+      return;
+    }
+    if (type == ValueType::kValue && static_cast<int64_t>(value.size()) >= threshold) {
+      std::string pointer;
+      uint64_t pinned = 0;
+      Status as = disk_->AppendToValueLog(key, value, &pointer, &pinned);
+      if (!as.ok()) {
+        s = as;
+        return;
+      }
+      if (std::find(pins->begin(), pins->end(), pinned) == pins->end()) {
+        pins->push_back(pinned);
+      }
+      shadow->PutPointer(key, Slice(pointer));
+    } else if (type == ValueType::kTombstone) {
+      shadow->Delete(key);
+    } else if (type == ValueType::kValuePointer) {
+      shadow->PutPointer(key, value);
+    } else {
+      shadow->Put(key, value);
+    }
+  });
+  if (s.ok()) {
+    *commit = shadow;
+  }
+  return s;
+}
+
 Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
   if (batch == nullptr) {
     return Status::InvalidArgument("null write batch");
   }
   if (batch->Empty()) {
     return Status::OK();
+  }
+
+  // Value separation: rewrite qualifying values as vlog pointers first,
+  // holding a pin on the touched vlog files until the batch lands in the
+  // memory component (or fails for good) so GC cannot retire them while
+  // the only reference is on this stack.
+  WriteBatch shadow;
+  std::vector<uint64_t> vlog_pins;
+  WriteBatch* commit = batch;
+  struct PinRelease {
+    FloDB* db;
+    std::vector<uint64_t>* pins;
+    ~PinRelease() {
+      for (uint64_t file : *pins) {
+        db->disk_->UnpinVlogFile(file);
+      }
+    }
+  } pin_release{this, &vlog_pins};
+  if (disk_ != nullptr && disk_->SeparationEnabled()) {
+    Status s = SeparateLargeValues(batch, &shadow, &vlog_pins, &commit);
+    if (!s.ok()) {
+      return s;
+    }
   }
 
   // One WAL record for the whole batch — the group-commit amortization,
@@ -154,12 +236,12 @@ Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
   if (options_.enable_wal) {
     // Validate the rep BEFORE logging it: a malformed batch must fail
     // here, not poison the WAL for the next recovery.
-    Status s = batch->ForEach([](const Slice&, const Slice&, ValueType) {});
+    Status s = commit->ForEach([](const Slice&, const Slice&, ValueType) {});
     if (!s.ok()) {
       return s;
     }
     WaitForMemtableHeadroom();
-    s = WalCommit(options, batch, &token_slot);
+    s = WalCommit(options, commit, &token_slot);
     if (!s.ok()) {
       // This write failed for good; kick the repair path so FUTURE writes
       // can succeed even in configurations without drain threads (the
@@ -168,7 +250,7 @@ Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
       return s;
     }
   }
-  return ApplyBatchToMemory(options, batch, token_slot);
+  return ApplyBatchToMemory(options, commit, token_slot);
 }
 
 Status FloDB::PrepareBatch(const WriteOptions& options, WriteBatch* batch, uint64_t txn_id,
@@ -402,8 +484,18 @@ Status FloDB::WalCommit(const WriteOptions& options, WriteBatch* batch, int* tok
       group_has_sync = group_has_sync || w->sync;
     }
     if (appended > 0 && group_has_sync) {
+      // Value-log-before-WAL sync order (docs/STORAGE.md §10): records in
+      // this group may hold pointers into vlog bytes still in the OS page
+      // cache; the pointers must never outlive their targets across a
+      // power cut, so the vlog reaches disk first. No-op when the vlog
+      // has no unsynced appends.
+      if (disk_ != nullptr && disk_->SeparationEnabled()) {
+        sync_error = disk_->SyncValueLog();
+      }
       wal_syncs_.fetch_add(1, std::memory_order_relaxed);
-      sync_error = wal->Sync();
+      if (sync_error.ok()) {
+        sync_error = wal->Sync();
+      }
     }
     lock.lock();
     wal_leader_busy_ = false;
@@ -466,33 +558,59 @@ Status FloDB::Get(const ReadOptions& options, const Slice& key, std::string* val
   if (options.fill_stats) {
     gets_.fetch_add(1, std::memory_order_relaxed);
   }
-  RcuReadGuard guard(rcu_);
 
-  // Freshest-first order: MBF, IMM_MBF, MTB, IMM_MTB, DISK (Algorithm 2).
-  ValueType type;
-  for (MemBuffer* buffer : {mbf_.load(std::memory_order_seq_cst),
-                            imm_mbf_.load(std::memory_order_seq_cst)}) {
-    if (buffer != nullptr && buffer->Get(key, value, &type)) {
-      return type == ValueType::kTombstone ? Status::NotFound() : Status::OK();
+  // A hit may carry a kValuePointer: *value then holds an encoded pointer
+  // into a vlog file, resolved through the disk component. Resolution can
+  // lose a benign race with vlog GC — the disk Get releases its pinned
+  // Version before we resolve, and GC may retire the victim file in that
+  // window — so one retry re-reads the (by then rewritten) pointer. A
+  // second failure is a real error and surfaces.
+  for (int attempt = 0;; ++attempt) {
+    ValueType type = ValueType::kValue;
+    Status s;
+    bool found = false;
+    bool resolve_failed = false;
+    {
+      RcuReadGuard guard(rcu_);
+
+      // Freshest-first order: MBF, IMM_MBF, MTB, IMM_MTB, DISK (Algorithm 2).
+      for (MemBuffer* buffer : {mbf_.load(std::memory_order_seq_cst),
+                                imm_mbf_.load(std::memory_order_seq_cst)}) {
+        if (!found && buffer != nullptr && buffer->Get(key, value, &type)) {
+          found = true;
+        }
+      }
+      uint64_t seq;
+      for (MemTable* table : {mtb_.load(std::memory_order_seq_cst),
+                              imm_mtb_.load(std::memory_order_seq_cst)}) {
+        if (!found && table != nullptr && table->Get(key, value, &seq, &type)) {
+          found = true;
+        }
+      }
+      if (!found && disk_ != nullptr) {
+        s = disk_->Get(key, value, &seq, &type);
+        if (s.ok()) {
+          found = true;
+        } else if (!s.IsNotFound()) {
+          return s;
+        }
+      }
+      if (!found) {
+        return Status::NotFound();
+      }
+      if (type == ValueType::kTombstone) {
+        return Status::NotFound();
+      }
+      if (type == ValueType::kValuePointer) {
+        const std::string pointer = std::move(*value);
+        s = disk_->ResolveValuePointer(Slice(pointer), value);
+        resolve_failed = !s.ok();
+      }
     }
-  }
-  uint64_t seq;
-  for (MemTable* table : {mtb_.load(std::memory_order_seq_cst),
-                          imm_mtb_.load(std::memory_order_seq_cst)}) {
-    if (table != nullptr && table->Get(key, value, &seq, &type)) {
-      return type == ValueType::kTombstone ? Status::NotFound() : Status::OK();
-    }
-  }
-  if (disk_ != nullptr) {
-    Status s = disk_->Get(key, value, &seq, &type);
-    if (s.ok()) {
-      return type == ValueType::kTombstone ? Status::NotFound() : Status::OK();
-    }
-    if (!s.IsNotFound()) {
+    if (!resolve_failed || attempt > 0) {
       return s;
     }
   }
-  return Status::NotFound();
 }
 
 Status FloDB::FlushAll() {
@@ -507,8 +625,11 @@ Status FloDB::FlushAll() {
     CleanupImmMembuffer(old);
   }
 
-  // 2. Persist Memtables until memory is empty.
-  while (true) {
+  // 2. Persist Memtables until memory is empty. Bail out on shutdown:
+  // the persist thread is gone then, so the wait below would never make
+  // progress (the vlog GC thread flushes through here and must not hang
+  // StopBackgroundThreads).
+  while (!stop_.load(std::memory_order_relaxed)) {
     bool empty;
     {
       RcuReadGuard guard(rcu_);
@@ -529,6 +650,48 @@ Status FloDB::FlushAll() {
     disk_->WaitForCompactions();
   }
   return Status::OK();
+}
+
+Status FloDB::CompactRange(const Slice& begin, const Slice& end) {
+  // Flush first so the whole range — including entries still in memory —
+  // is subject to the compaction.
+  Status s = FlushAll();
+  if (!s.ok()) {
+    return s;
+  }
+  if (disk_ == nullptr) {
+    return Status::OK();
+  }
+  return disk_->CompactRange(begin, end);
+}
+
+Status FloDB::CompactValueLogGarbage(bool* performed) {
+  if (performed != nullptr) {
+    *performed = false;
+  }
+  if (disk_ == nullptr || !disk_->SeparationEnabled()) {
+    return Status::OK();
+  }
+  uint64_t victim;
+  if (!disk_->PickVlogGcVictim(&victim)) {
+    return Status::OK();
+  }
+  // GC barrier discipline (docs/STORAGE.md §10): wait out write-path pins
+  // on the victim, flush memory so no pointer into it hides in a
+  // Memtable, then rewrite every on-disk pointer. After CompactVlogFile
+  // the victim is deregistered; the file itself is unlinked only once no
+  // pinned Version references it.
+  disk_->WaitVlogUnpinned(victim);
+  Status s = FlushAll();
+  if (!s.ok() || stop_.load(std::memory_order_relaxed)) {
+    return s;
+  }
+  uint64_t rewrites = 0;
+  s = disk_->CompactVlogFile(victim, &rewrites);
+  if (s.ok() && performed != nullptr) {
+    *performed = true;
+  }
+  return s;
 }
 
 size_t FloDB::MembufferLiveEntries() const {

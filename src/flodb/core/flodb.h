@@ -74,8 +74,18 @@ class FloDB final : public KVStore {
   std::unique_ptr<ScanIterator> NewScanIterator(const ReadOptions& options, const Slice& low_key,
                                                 const Slice& high_key) override;
   Status FlushAll() override;
+  Status CompactRange(const Slice& begin, const Slice& end) override;
   StoreStats GetStats() const override;
   std::string Name() const override { return "FloDB"; }
+
+  // One deterministic round of value-log garbage collection: if some
+  // sealed vlog file crossed the garbage-ratio trigger, waits out
+  // in-flight write pins, flushes memory (so no pointer into the victim
+  // hides in a Memtable) and rewrites the victim's live records. The
+  // background GC thread runs exactly this; tests call it directly.
+  // *performed (optional) reports whether a victim was collected. No-op
+  // OK when value separation is disabled.
+  Status CompactValueLogGarbage(bool* performed = nullptr);
 
   // ---- introspection for tests and benchmarks ----
   uint64_t CurrentSeq() const { return global_seq_.load(std::memory_order_relaxed); }
@@ -114,6 +124,7 @@ class FloDB final : public KVStore {
   void StopBackgroundThreads();
   void DrainLoop();
   void PersistLoop();
+  void VlogGcLoop();
   // One unit of cooperative help on the immutable Membuffer; returns true
   // if a chunk was processed.
   bool HelpDrainImmMembuffer();
@@ -146,9 +157,14 @@ class FloDB final : public KVStore {
   // One pass over MTB+IMM_MTB+DISK collecting up to `limit` live entries
   // from `start` (exclusive when `exclusive_start`). Returns true on
   // success, false if a seq violation demands a restart. `validate`
-  // disables seq checks for the fallback path.
+  // disables seq checks for the fallback path. kValuePointer entries are
+  // resolved through the value log inside the pass (the disk iterator
+  // pins its Version, which keeps the referenced vlog files alive); a
+  // resolution failure is a hard error reported through *error with the
+  // pass cut short (returning true — no restart would fix it).
   bool ScanPass(const Slice& start, const Slice& high_key, size_t limit, uint64_t scan_seq,
-                bool validate, bool exclusive_start, std::vector<ScanEntry>* out);
+                bool validate, bool exclusive_start, std::vector<ScanEntry>* out,
+                Status* error);
   // Liveness fallback: briefly freezes Memtable writers, then runs an
   // unvalidated pass.
   Status FallbackPass(const Slice& start, const Slice& high_key, size_t limit,
@@ -164,6 +180,19 @@ class FloDB final : public KVStore {
   // Uninstalls and reclaims the immutable Membuffer after a grace period.
   void CleanupImmMembuffer(MemBuffer* old);
   bool HelpDrainChunk(MemBuffer* imm);
+
+  // ---- value separation (DESIGN.md §13) ----
+
+  // If the disk component separates values and `batch` holds one whose
+  // size reaches the threshold, appends those values to the value log
+  // and rebuilds the batch in *shadow with kValuePointer entries in
+  // their place; *commit then points at the shadow (at the original
+  // batch otherwise, with no copy made). The touched vlog files are
+  // pinned and recorded in *pins — the caller MUST UnpinVlogFile each
+  // after the batch reached the memory component (or failed for good),
+  // so GC never retires a file whose only reference is still in flight.
+  Status SeparateLargeValues(WriteBatch* batch, WriteBatch* shadow,
+                             std::vector<uint64_t>* pins, WriteBatch** commit);
 
   // ---- durability pipeline (DESIGN.md §10) ----
 
@@ -313,6 +342,7 @@ class FloDB final : public KVStore {
 
   std::vector<std::thread> drain_threads_;
   std::thread persist_thread_;
+  std::thread vlog_gc_thread_;  // started only when separation is enabled
   std::atomic<bool> stop_{false};
 
   // Stats.

@@ -28,17 +28,44 @@ void FloDB::StartBackgroundThreads() {
     }
   }
   persist_thread_ = std::thread([this] { PersistLoop(); });
+  if (disk_ != nullptr && disk_->SeparationEnabled()) {
+    vlog_gc_thread_ = std::thread([this] { VlogGcLoop(); });
+  }
 }
 
 void FloDB::StopBackgroundThreads() {
   stop_.store(true, std::memory_order_seq_cst);
   TriggerPersist();
+  // The GC thread first: its rounds call FlushAll, which needs the
+  // persist thread alive to make progress (FlushAll bails on stop_, but
+  // an already-running flush finishes fastest with the thread present).
+  if (vlog_gc_thread_.joinable()) {
+    vlog_gc_thread_.join();
+  }
   for (std::thread& t : drain_threads_) {
     t.join();
   }
   drain_threads_.clear();
   if (persist_thread_.joinable()) {
     persist_thread_.join();
+  }
+}
+
+// Garbage-ratio-triggered vlog GC (DESIGN.md §13). Runs outside
+// PersistLoop on purpose: a GC round flushes the memory component, and
+// the persist thread cannot wait on itself. Polling is cheap —
+// PickVlogGcVictim is a walk over the (small) live-vlog map.
+void FloDB::VlogGcLoop() {
+  constexpr auto kGcIdleSleep = std::chrono::milliseconds(10);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    bool performed = false;
+    Status s = CompactValueLogGarbage(&performed);
+    if (!s.ok()) {
+      fprintf(stderr, "flodb: vlog GC round failed (will retry): %s\n", s.ToString().c_str());
+    }
+    if (!performed) {
+      std::this_thread::sleep_for(kGcIdleSleep);
+    }
   }
 }
 
@@ -449,6 +476,19 @@ Status FloDB::RecoverFromWal() {
     WalReader reader(std::move(file));
     s = reader.ReplayUpdates(
         [&](const Slice& key, const Slice& value, ValueType type) {
+          if (type == ValueType::kValuePointer && disk_ != nullptr) {
+            // A pointer record can outlive its vlog bytes only for a
+            // write that was never durably acked (sync writers get the
+            // vlog fsync'd before the WAL record — docs/STORAGE.md §10),
+            // e.g. when OS writeback persisted the WAL page but not the
+            // vlog page before a power cut. Losing such a write is
+            // legal; replaying a dangling pointer is not. Verify and
+            // drop the strays (CRC framing catches torn targets).
+            std::string resolved;
+            if (!disk_->ResolveValuePointer(value, &resolved).ok()) {
+              return;
+            }
+          }
           const uint64_t seq = global_seq_.fetch_add(1, std::memory_order_relaxed);
           mtb->Add(key, value, seq, type);
           ++replayed;

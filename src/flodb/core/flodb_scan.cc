@@ -36,8 +36,10 @@
 namespace flodb {
 
 bool FloDB::ScanPass(const Slice& start, const Slice& high_key, size_t limit, uint64_t scan_seq,
-                     bool validate, bool exclusive_start, std::vector<ScanEntry>* out) {
+                     bool validate, bool exclusive_start, std::vector<ScanEntry>* out,
+                     Status* error) {
   out->clear();
+  *error = Status::OK();
   // The RCU section pins both Memtables for the whole pass; the disk
   // iterator pins its own Version internally.
   RcuReadGuard guard(rcu_);
@@ -78,7 +80,23 @@ bool FloDB::ScanPass(const Slice& start, const Slice& high_key, size_t limit, ui
     if (merged->type() == ValueType::kTombstone) {
       continue;
     }
-    out->push_back(ScanEntry{last_key, merged->value().ToString(), merged->seq()});
+    std::string value;
+    if (merged->type() == ValueType::kValuePointer) {
+      // Safe against GC here: the disk iterator's pinned Version keeps
+      // its referenced vlog files alive (file GC unions vlog refs over
+      // EVERY pinned version), and in-memory pointers cannot lose their
+      // target while this RCU section blocks the persist grace period.
+      Status rs = disk_ != nullptr
+                      ? disk_->ResolveValuePointer(merged->value(), &value)
+                      : Status::Corruption("value pointer without a disk component");
+      if (!rs.ok()) {
+        *error = rs;
+        return true;
+      }
+    } else {
+      value = merged->value().ToString();
+    }
+    out->push_back(ScanEntry{last_key, std::move(value), merged->seq()});
     if (limit != 0 && out->size() >= limit) {
       break;
     }
@@ -96,10 +114,11 @@ Status FloDB::FallbackPass(const Slice& start, const Slice& high_key, size_t lim
   // for the duration (writers park in the Membuffer or spin).
   rcu_.Synchronize();
   const uint64_t seq = FreshScanSeq();
-  ScanPass(start, high_key, limit, seq, /*validate=*/false, exclusive_start, out);
+  Status error;
+  ScanPass(start, high_key, limit, seq, /*validate=*/false, exclusive_start, out, &error);
   pause_writers_.store(false, std::memory_order_seq_cst);
   pause_draining_.store(false, std::memory_order_seq_cst);
-  return Status::OK();
+  return error;
 }
 
 void FloDB::EstablishMasterSeq(uint64_t* seq) {
@@ -246,9 +265,17 @@ class FloDBScanIterator final : public ScanIterator {
     pos_ = 0;
     const Slice start = has_resume_ ? Slice(resume_key_) : Slice(low_);
     int restarts = 0;
+    Status pass_error;
     while (true) {
       if (db_->ScanPass(start, Slice(high_), chunk_capacity_, ticket_.seq, /*validate=*/true,
-                        has_resume_, &chunk_)) {
+                        has_resume_, &chunk_, &pass_error)) {
+        if (!pass_error.ok()) {
+          // A vlog resolution failed mid-pass: cut the stream here with
+          // the error; restarting cannot fix an unreadable target.
+          chunk_.clear();
+          status_ = pass_error;
+          finished_ = true;
+        }
         break;
       }
       db_->scan_restarts_.fetch_add(1, std::memory_order_relaxed);

@@ -189,6 +189,15 @@ class KVStore {
   // background work to settle. Test/benchmark aid.
   virtual Status FlushAll() = 0;
 
+  // Synchronously compacts every persisted file overlapping
+  // [begin, end] (empty Slice = open end) down to the bottommost
+  // occupied level. Stores without a disk component treat this as a
+  // no-op. FloDB flushes memory first so the whole range is subject to
+  // the compaction; ShardedKVStore fans out to every shard.
+  virtual Status CompactRange(const Slice& /*begin*/, const Slice& /*end*/) {
+    return Status::OK();
+  }
+
   virtual StoreStats GetStats() const = 0;
   virtual std::string Name() const = 0;
 };

@@ -645,6 +645,20 @@ Status ShardedKVStore::FlushAll() {
   return Status::OK();
 }
 
+Status ShardedKVStore::CompactRange(const Slice& begin, const Slice& end) {
+  // Every shard owns a contiguous key range, so pruning by the router
+  // would be possible; an unconditional fan-out keeps this correct under
+  // shard_key_prefix_skip (where routing ignores leading bytes and a
+  // [begin, end) span does not map to a contiguous shard interval).
+  for (auto& shard : shards_) {
+    Status s = shard->CompactRange(begin, end);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
 StoreStats ShardedKVStore::GetStats() const {
   StoreStats total;
   for (const auto& shard : shards_) {

@@ -79,6 +79,7 @@ class ShardedKVStore final : public KVStore {
   std::unique_ptr<ScanIterator> NewScanIterator(const ReadOptions& options, const Slice& low_key,
                                                 const Slice& high_key) override;
   Status FlushAll() override;
+  Status CompactRange(const Slice& begin, const Slice& end) override;
 
   // Rolled-up stats: the sum over shards. Note that a cross-shard Write
   // counts one batch_write PER TOUCHED SHARD (each shard's group commit

@@ -17,6 +17,10 @@ void WriteBatch::Put(const Slice& key, const Slice& value) {
 
 void WriteBatch::Delete(const Slice& key) { AppendEntry(key, Slice(), ValueType::kTombstone); }
 
+void WriteBatch::PutPointer(const Slice& key, const Slice& pointer) {
+  AppendEntry(key, pointer, ValueType::kValuePointer);
+}
+
 void WriteBatch::Append(const WriteBatch& other) {
   rep_.append(other.rep_);
   count_ += other.count_;
@@ -39,7 +43,8 @@ Status WriteBatch::IterateRep(
   uint32_t seen = 0;
   while (!in.empty()) {
     const auto type = static_cast<ValueType>(in[0]);
-    if (type != ValueType::kValue && type != ValueType::kTombstone) {
+    if (type != ValueType::kValue && type != ValueType::kTombstone &&
+        type != ValueType::kValuePointer) {
       return Status::Corruption("bad entry type in write batch");
     }
     in.remove_prefix(1);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 
 #include "flodb/common/coding.h"
 #include "flodb/disk/level_iterator.h"
@@ -71,6 +72,12 @@ Status DiskComponent::Open(const DiskOptions& options, std::unique_ptr<DiskCompo
       return Status::InvalidArgument("bloom_bits_per_level entries must be >= 1");
     }
   }
+  if (options.value_separation_threshold < 0) {
+    return Status::InvalidArgument("value_separation_threshold must be >= 0");
+  }
+  if (!(options.vlog_gc_garbage_ratio > 0.0) || options.vlog_gc_garbage_ratio > 1.0) {
+    return Status::InvalidArgument("vlog_gc_garbage_ratio must be in (0, 1]");
+  }
   auto dc = std::unique_ptr<DiskComponent>(new DiskComponent(options));
   if (options.block_cache_bytes > 0) {
     dc->block_cache_ = std::make_unique<ShardedLruCache>(options.block_cache_bytes);
@@ -96,12 +103,55 @@ Status DiskComponent::Open(const DiskOptions& options, std::unique_ptr<DiskCompo
     if (dc->options_.env->GetChildren(options.path, &children).ok()) {
       uint64_t max_number = 0;
       for (const std::string& name : children) {
-        if (name.size() >= 5 && name.substr(name.size() - 4) == ".sst") {
+        const bool is_sst = name.size() >= 5 && name.substr(name.size() - 4) == ".sst";
+        const bool is_vlog = name.size() >= 6 && name.substr(name.size() - 5) == ".vlog";
+        if (is_sst || is_vlog) {
           max_number = std::max(
               max_number, static_cast<uint64_t>(strtoull(name.c_str(), nullptr, 10)));
         }
       }
       dc->versions_->EnsureFileNumberAtLeast(max_number + 1);
+    }
+  }
+  // Value log: enabled by the threshold, and kept alive for reads/GC even
+  // at threshold 0 when the recovered version already owns vlog files
+  // (separation turned off on a previously separated store).
+  if (options.value_separation_threshold > 0 ||
+      !dc->versions_->Current()->VlogFiles().empty()) {
+    DiskComponent* raw = dc.get();
+    dc->value_log_ = std::make_unique<ValueLog>(
+        options.env, options.path, options.vlog_file_target_bytes,
+        [raw] {
+          // Shield the number from a sweep racing the creation→register
+          // window (same pending-outputs discipline as .sst outputs).
+          const uint64_t number = raw->versions_->NewFileNumber();
+          std::lock_guard<std::mutex> lock(raw->pending_mu_);
+          raw->pending_outputs_.insert(number);
+          return number;
+        },
+        [raw](uint64_t number) {
+          VersionEdit edit;
+          edit.added_vlogs.push_back(number);
+          Status status = raw->versions_->LogAndApply(edit);
+          std::lock_guard<std::mutex> lock(raw->pending_mu_);
+          raw->pending_outputs_.erase(number);
+          return status;
+        });
+    // A vlog registered in the MANIFEST but missing on disk was lost
+    // before any append to it was synced (registration precedes appends;
+    // vlog sync precedes any WAL sync or table install referencing it),
+    // so nothing durable points into it: deregister.
+    VersionEdit edit;
+    for (const auto& [number, garbage] : dc->versions_->Current()->VlogFiles()) {
+      if (!options.env->FileExists(VlogFileName(options.path, number))) {
+        edit.deleted_vlogs.push_back(number);
+      }
+    }
+    if (!edit.deleted_vlogs.empty()) {
+      s = dc->versions_->LogAndApply(edit);
+      if (!s.ok()) {
+        return s;
+      }
     }
   }
   dc->RemoveObsoleteFiles();
@@ -203,14 +253,27 @@ Status DiskComponent::AddRun(Iterator* iter) {
 
   std::string last_key;
   bool has_last = false;
+  std::set<uint64_t> vlog_refs;
+  std::map<uint64_t, uint64_t> vlog_garbage;  // vlog number -> dead bytes
+  auto vlog_pointer = [](const Slice& value, ValuePointer* ptr) {
+    return DecodeValuePointer(value, ptr);
+  };
   for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
     // First occurrence of a user key is the freshest (children are merged
     // key-asc/seq-desc); drop the rest.
     if (has_last && iter->key() == Slice(last_key)) {
+      ValuePointer ptr;
+      if (iter->type() == ValueType::kValuePointer && vlog_pointer(iter->value(), &ptr)) {
+        vlog_garbage[ptr.file_number] += ptr.length;  // record died with its entry
+      }
       continue;
     }
     last_key.assign(iter->key().data(), iter->key().size());
     has_last = true;
+    ValuePointer ptr;
+    if (iter->type() == ValueType::kValuePointer && vlog_pointer(iter->value(), &ptr)) {
+      vlog_refs.insert(ptr.file_number);
+    }
     builder.Add(iter->key(), iter->seq(), iter->type(), iter->value());
   }
   if (!iter->status().ok()) {
@@ -232,6 +295,11 @@ Status DiskComponent::AddRun(Iterator* iter) {
   if (s.ok()) {
     s = file->Close();
   }
+  if (s.ok() && value_log_ != nullptr && !vlog_refs.empty()) {
+    // An installed table must never reference unsynced vlog bytes (the
+    // no-WAL / sync=false paths reach here with the vlog still dirty).
+    s = value_log_->Sync();
+  }
   if (!s.ok()) {
     options_.env->RemoveFile(fname);
     return s;
@@ -245,9 +313,13 @@ Status DiskComponent::AddRun(Iterator* iter) {
   meta.largest = builder.largest_key().ToString();
   meta.smallest_seq = builder.smallest_seq();
   meta.largest_seq = builder.largest_seq();
+  meta.vlog_refs.assign(vlog_refs.begin(), vlog_refs.end());
 
   VersionEdit edit;
   edit.added.emplace_back(0, std::move(meta));
+  for (const auto& [vlog_number, bytes] : vlog_garbage) {
+    edit.vlog_garbage.emplace_back(vlog_number, bytes);
+  }
   s = versions_->LogAndApply(edit);
   if (!s.ok()) {
     return s;
@@ -400,8 +472,18 @@ Status DiskComponent::DoCompaction(const CompactionJob& job) {
   std::unique_ptr<Iterator> merged = NewMergingIterator(std::move(children));
 
   VersionEdit edit;
-  const int out_level = job.level + 1;
+  const int out_level = job.output_level >= 0 ? job.output_level : job.level + 1;
   uint64_t out_bytes = 0;
+  const std::set<uint64_t> gc_vlogs(job.rewrite_vlogs.begin(), job.rewrite_vlogs.end());
+  std::set<uint64_t> output_refs;                 // vlogs referenced by the current output
+  std::map<uint64_t, uint64_t> vlog_garbage;      // vlog number -> dead bytes
+  bool vlog_needs_sync = false;                   // fresh GC appends before install
+  auto account_dropped_pointer = [&](const Slice& value, ValueType type) {
+    ValuePointer ptr;
+    if (type == ValueType::kValuePointer && DecodeValuePointer(value, &ptr)) {
+      vlog_garbage[ptr.file_number] += ptr.length;
+    }
+  };
 
   std::unique_ptr<WritableFile> file;
   std::unique_ptr<TableBuilder> builder;
@@ -433,6 +515,8 @@ Status DiskComponent::DoCompaction(const CompactionJob& job) {
     meta.largest = builder->largest_key().ToString();
     meta.smallest_seq = builder->smallest_seq();
     meta.largest_seq = builder->largest_seq();
+    meta.vlog_refs.assign(output_refs.begin(), output_refs.end());
+    output_refs.clear();
     out_bytes += meta.file_size;
     edit.added.emplace_back(out_level, std::move(meta));
     builder.reset();
@@ -442,15 +526,44 @@ Status DiskComponent::DoCompaction(const CompactionJob& job) {
 
   std::string last_key;
   bool has_last = false;
+  std::string gc_value, gc_pointer;
   Status s;
   for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
     if (has_last && merged->key() == Slice(last_key)) {
+      account_dropped_pointer(merged->value(), merged->type());
       continue;  // older version of the same user key
     }
     last_key.assign(merged->key().data(), merged->key().size());
     has_last = true;
     if (job.drop_tombstones && merged->type() == ValueType::kTombstone) {
       continue;  // no deeper level can hold this key: tombstone retires
+    }
+    Slice value = merged->value();
+    ValuePointer ptr;
+    if (merged->type() == ValueType::kValuePointer) {
+      if (!DecodeValuePointer(value, &ptr)) {
+        return Status::Corruption("bad value pointer in compaction input");
+      }
+      if (gc_vlogs.count(ptr.file_number) != 0) {
+        // Vlog GC: move the live record out of the victim so the file
+        // loses its last references and can be retired.
+        s = value_log_->Read(ptr, &gc_value);
+        if (!s.ok()) {
+          return s;
+        }
+        ValuePointer moved;
+        s = value_log_->Append(merged->key(), gc_value, &moved, /*pin=*/false);
+        if (!s.ok()) {
+          return s;
+        }
+        gc_pointer.clear();
+        EncodeValuePointer(&gc_pointer, moved);
+        value = Slice(gc_pointer);
+        ptr = moved;
+        vlog_needs_sync = true;
+        vlog_gc_rewrites_.fetch_add(1, std::memory_order_relaxed);
+      }
+      output_refs.insert(ptr.file_number);
     }
     if (builder == nullptr) {
       out_number = versions_->NewFileNumber();
@@ -461,7 +574,7 @@ Status DiskComponent::DoCompaction(const CompactionJob& job) {
       }
       builder = std::make_unique<TableBuilder>(builder_options, file.get());
     }
-    builder->Add(merged->key(), merged->seq(), merged->type(), merged->value());
+    builder->Add(merged->key(), merged->seq(), merged->type(), value);
     if (builder->FileSize() + options_.block_bytes >= options_.sstable_target_bytes) {
       s = finish_output();
       if (!s.ok()) {
@@ -476,12 +589,23 @@ Status DiskComponent::DoCompaction(const CompactionJob& job) {
   if (!s.ok()) {
     return s;
   }
+  if (vlog_needs_sync) {
+    // The outputs reference freshly appended vlog bytes; they must be
+    // durable before the manifest installs tables pointing at them.
+    s = value_log_->Sync();
+    if (!s.ok()) {
+      return s;
+    }
+  }
 
   for (const FileMetaData& f : job.inputs_lo) {
     edit.deleted.emplace_back(job.level, f.number);
   }
   for (const FileMetaData& f : job.inputs_hi) {
     edit.deleted.emplace_back(out_level, f.number);
+  }
+  for (const auto& [vlog_number, bytes] : vlog_garbage) {
+    edit.vlog_garbage.emplace_back(vlog_number, bytes);
   }
   s = versions_->LogAndApply(edit);
   if (!s.ok()) {
@@ -501,9 +625,11 @@ void DiskComponent::RemoveObsoleteFiles() {
   // it must never be considered obsolete.
   const uint64_t barrier = versions_->PeekFileNumber();
   std::set<uint64_t> live = versions_->AllLiveFileNumbers();
+  std::set<uint64_t> live_vlogs = versions_->AllLiveVlogNumbers();
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     live.insert(pending_outputs_.begin(), pending_outputs_.end());
+    live_vlogs.insert(pending_outputs_.begin(), pending_outputs_.end());
   }
   const uint64_t live_manifest = versions_->CurrentManifestNumber();
   std::vector<std::string> children;
@@ -521,6 +647,17 @@ void DiskComponent::RemoveObsoleteFiles() {
       // which purges the file's blocks from the block cache.
       char buf[8];
       table_cache_->Erase(TableCacheKey(number, buf));
+    } else if (name.size() >= 6 && name.substr(name.size() - 5) == ".vlog") {
+      // Same barrier discipline as .sst: orphans of a crashed rotation or
+      // a GC'd victim go once no pinned version can resolve into them.
+      const uint64_t number = static_cast<uint64_t>(strtoull(name.c_str(), nullptr, 10));
+      if (number >= barrier || live_vlogs.count(number) != 0) {
+        continue;
+      }
+      options_.env->RemoveFile(options_.path + "/" + name);
+      if (value_log_ != nullptr) {
+        value_log_->EvictReader(number);
+      }
     } else if (name.rfind("MANIFEST-", 0) == 0) {
       // Failed or crashed snapshot writes strand manifests below the one
       // CURRENT points at. Higher numbers are never touched: one may be
@@ -614,6 +751,226 @@ Status DiskComponent::CompactOnce(bool* did_work) {
   return s;
 }
 
+Status DiskComponent::RunManualCompaction(
+    const std::function<bool(const Version&, CompactionJob*)>& build, bool* did_work) {
+  *did_work = false;
+  CompactionJob job;
+  int out_level = -1;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Manual jobs are rare (tests, ops, vlog GC): the simple and correct
+    // serialization is to wait out every running compaction, then build
+    // the job against the then-current version with the lock held so no
+    // background pick can consume the same inputs.
+    idle_cv_.wait(lock, [&] { return stop_ || active_compactions_ == 0; });
+    if (stop_) {
+      return Status::Aborted("shutting down");
+    }
+    std::shared_ptr<const Version> v = versions_->Current();
+    if (!build(*v, &job)) {
+      return Status::OK();
+    }
+    out_level = job.output_level >= 0 ? job.output_level : job.level + 1;
+    level_busy_[job.level] = true;
+    level_busy_[out_level] = true;
+    ++active_compactions_;
+  }
+  Status s = DoCompaction(job);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_compactions_;
+    level_busy_[job.level] = false;
+    level_busy_[out_level] = false;
+  }
+  idle_cv_.notify_all();
+  work_cv_.notify_all();
+  *did_work = true;
+  return s;
+}
+
+Status DiskComponent::CompactRange(const Slice& begin, const Slice& end) {
+  for (int level = 0; level + 1 < options_.num_levels; ++level) {
+    bool did_work = false;
+    Status s = RunManualCompaction(
+        [&](const Version& v, CompactionJob* job) {
+          std::vector<FileMetaData> inputs = v.OverlappingFiles(level, begin, end);
+          if (inputs.empty()) {
+            return false;
+          }
+          auto span_of = [](const std::vector<FileMetaData>& files, std::string* lo,
+                            std::string* hi) {
+            *lo = files[0].smallest;
+            *hi = files[0].largest;
+            for (const FileMetaData& f : files) {
+              if (Slice(f.smallest).compare(Slice(*lo)) < 0) {
+                *lo = f.smallest;
+              }
+              if (Slice(f.largest).compare(Slice(*hi)) > 0) {
+                *hi = f.largest;
+              }
+            }
+          };
+          std::string span_lo, span_hi;
+          span_of(inputs, &span_lo, &span_hi);
+          if (level == 0) {
+            // L0 files overlap: expand to a fixpoint so no L0 file sharing
+            // a key with the chosen set stays behind — an older version
+            // left above data pushed to L1 would shadow it.
+            while (true) {
+              std::vector<FileMetaData> wider =
+                  v.OverlappingFiles(0, Slice(span_lo), Slice(span_hi));
+              if (wider.size() == inputs.size()) {
+                break;
+              }
+              inputs = std::move(wider);
+              span_of(inputs, &span_lo, &span_hi);
+            }
+          }
+          job->level = level;
+          job->inputs_lo = std::move(inputs);
+          job->inputs_hi = v.OverlappingFiles(level + 1, Slice(span_lo), Slice(span_hi));
+          job->drop_tombstones =
+              v.IsBottommostForRange(level + 1, Slice(span_lo), Slice(span_hi));
+          return true;
+        },
+        &did_work);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  RemoveObsoleteFiles();
+  return Status::OK();
+}
+
+Status DiskComponent::AppendToValueLog(const Slice& key, const Slice& value,
+                                       std::string* pointer_value, uint64_t* pinned_file) {
+  if (value_log_ == nullptr) {
+    return Status::NotSupported("value separation disabled");
+  }
+  ValuePointer ptr;
+  Status s = value_log_->Append(key, value, &ptr, /*pin=*/true);
+  if (!s.ok()) {
+    return s;
+  }
+  pointer_value->clear();
+  EncodeValuePointer(pointer_value, ptr);
+  *pinned_file = ptr.file_number;
+  return Status::OK();
+}
+
+void DiskComponent::UnpinVlogFile(uint64_t file_number) {
+  if (value_log_ != nullptr) {
+    value_log_->Unpin(file_number);
+  }
+}
+
+Status DiskComponent::SyncValueLog() {
+  return value_log_ != nullptr ? value_log_->Sync() : Status::OK();
+}
+
+Status DiskComponent::ResolveValuePointer(const Slice& pointer_value, std::string* value) const {
+  if (value_log_ == nullptr) {
+    return Status::Corruption("value pointer entry but no value log");
+  }
+  ValuePointer ptr;
+  if (!DecodeValuePointer(pointer_value, &ptr)) {
+    return Status::Corruption("malformed value pointer");
+  }
+  return value_log_->Read(ptr, value);
+}
+
+bool DiskComponent::PickVlogGcVictim(uint64_t* victim) const {
+  if (value_log_ == nullptr) {
+    return false;
+  }
+  const uint64_t active = value_log_->ActiveFileNumber();
+  std::shared_ptr<const Version> v = versions_->Current();
+  for (const auto& [number, garbage] : v->VlogFiles()) {
+    if (number == active || garbage == 0) {
+      continue;  // the active file is still growing; never a victim
+    }
+    uint64_t size = 0;
+    if (!options_.env->GetFileSize(VlogFileName(options_.path, number), &size).ok() ||
+        size == 0) {
+      continue;
+    }
+    if (static_cast<double>(garbage) >=
+        options_.vlog_gc_garbage_ratio * static_cast<double>(size)) {
+      *victim = number;
+      return true;
+    }
+  }
+  return false;
+}
+
+void DiskComponent::WaitVlogUnpinned(uint64_t victim) {
+  if (value_log_ != nullptr) {
+    value_log_->WaitUnpinned(victim);
+  }
+}
+
+Status DiskComponent::CompactVlogFile(uint64_t victim, uint64_t* rewrites) {
+  if (value_log_ == nullptr) {
+    return Status::NotSupported("value separation disabled");
+  }
+  const uint64_t before = vlog_gc_rewrites_.load(std::memory_order_relaxed);
+  // Rewrite every table still referencing the victim, level by level,
+  // until the current version holds no reference. In-place jobs: only the
+  // pointers move, the level shape stays.
+  while (true) {
+    bool did_work = false;
+    Status s = RunManualCompaction(
+        [&](const Version& v, CompactionJob* job) {
+          for (int level = 0; level < v.NumLevels(); ++level) {
+            std::vector<FileMetaData> inputs;
+            for (const FileMetaData& f : v.LevelFiles(level)) {
+              if (std::binary_search(f.vlog_refs.begin(), f.vlog_refs.end(), victim)) {
+                inputs.push_back(f);
+              }
+            }
+            if (inputs.empty()) {
+              continue;
+            }
+            if (level == 0) {
+              // An in-place merge of an L0 *subset* could surface a stale
+              // version: the merged output spans its inputs' seq ranges,
+              // breaking the newest-first search order against files left
+              // out. Take the whole level instead — L0 is small by
+              // construction (stall trigger).
+              inputs = v.LevelFiles(0);
+            }
+            job->level = level;
+            job->output_level = level;
+            job->inputs_lo = std::move(inputs);
+            job->rewrite_vlogs.push_back(victim);
+            return true;
+          }
+          return false;
+        },
+        &did_work);
+    if (!s.ok()) {
+      return s;
+    }
+    if (!did_work) {
+      break;
+    }
+  }
+  // No current table references the victim; deregister it. The unlink
+  // happens in RemoveObsoleteFiles once every pinned older version (a
+  // long scan, say) is released — the GC barrier discipline.
+  VersionEdit edit;
+  edit.deleted_vlogs.push_back(victim);
+  Status s = versions_->LogAndApply(edit);
+  if (!s.ok()) {
+    return s;
+  }
+  if (rewrites != nullptr) {
+    *rewrites = vlog_gc_rewrites_.load(std::memory_order_relaxed) - before;
+  }
+  RemoveObsoleteFiles();
+  return Status::OK();
+}
+
 DiskComponent::Stats DiskComponent::GetStats() const {
   Stats stats;
   std::shared_ptr<const Version> v = versions_->Current();
@@ -627,6 +984,20 @@ DiskComponent::Stats DiskComponent::GetStats() const {
   stats.compactions = compactions_.load(std::memory_order_relaxed);
   stats.flushes = flushes_.load(std::memory_order_relaxed);
   stats.seeks_saved_by_bloom = bloom_skips_.load(std::memory_order_relaxed);
+  for (const auto& [number, garbage] : v->VlogFiles()) {
+    ++stats.vlog_files;
+    stats.vlog_garbage_bytes += garbage;
+    uint64_t size = 0;
+    if (options_.env->GetFileSize(VlogFileName(options_.path, number), &size).ok()) {
+      stats.vlog_bytes += size;
+    }
+  }
+  if (value_log_ != nullptr) {
+    stats.vlog_bytes_written = value_log_->BytesAppended();
+    stats.vlog_writes = value_log_->RecordsAppended();
+    stats.vlog_reads = value_log_->RecordsRead();
+  }
+  stats.vlog_gc_rewrites = vlog_gc_rewrites_.load(std::memory_order_relaxed);
   if (block_cache_ != nullptr) {
     const ShardedLruCache::Stats cache = block_cache_->GetStats();
     stats.block_cache_hits = cache.hits;

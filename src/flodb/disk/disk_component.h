@@ -13,6 +13,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -27,6 +28,7 @@
 #include "flodb/disk/env.h"
 #include "flodb/disk/iterator.h"
 #include "flodb/disk/table_reader.h"
+#include "flodb/disk/value_log.h"
 #include "flodb/disk/version.h"
 
 namespace flodb {
@@ -63,6 +65,20 @@ struct DiskOptions {
   int level_size_multiplier = 10;
 
   int compaction_threads = 1;      // 0 disables background compaction
+
+  // Value separation (WiscKey-style): values >= this many bytes are
+  // appended to *.vlog files and the LSM stores a ValuePointer, so
+  // compaction moves pointers instead of payloads. 0 (default) disables
+  // separation entirely — the on-disk format is then byte-identical to a
+  // build without the feature. Negative values are rejected at Open.
+  int64_t value_separation_threshold = 0;
+
+  // A sealed vlog file becomes a GC victim once its dead bytes exceed
+  // this fraction of its size. Must be in (0, 1]; checked at Open.
+  double vlog_gc_garbage_ratio = 0.5;
+
+  // Active vlog file rotates (seals) at this size.
+  uint64_t vlog_file_target_bytes = 64ull << 20;
 
   // Optional shared bound on concurrently RUNNING compactions across
   // DiskComponent instances. ShardedKVStore installs one sized to the
@@ -103,6 +119,48 @@ class DiskComponent {
   // compaction_threads == 0 so no background worker races the caller).
   Status CompactOnce(bool* did_work);
 
+  // Compacts every file overlapping [begin, end] (empty Slice = open end)
+  // down to the bottommost occupied level, synchronously. Tombstones and
+  // shadowed versions in the range are dropped where safe.
+  Status CompactRange(const Slice& begin, const Slice& end);
+
+  // --- Value separation surface (no-ops / NotSupported unless
+  // value_separation_threshold > 0). ---
+
+  bool SeparationEnabled() const { return value_log_ != nullptr; }
+
+  // Appends `value` to the active vlog and fills *pointer_value with the
+  // encoded ValuePointer (the bytes a kValuePointer entry stores). Pins
+  // the target file (*pinned_file) until UnpinVlogFile: the write path
+  // holds the pin from append to memory-apply so GC never retires a file
+  // whose only reference is still in flight.
+  Status AppendToValueLog(const Slice& key, const Slice& value, std::string* pointer_value,
+                          uint64_t* pinned_file);
+  void UnpinVlogFile(uint64_t file_number);
+
+  // Fsyncs unsynced vlog appends. The WAL group-commit leader calls this
+  // before syncing the WAL, so no durable WAL record can reference vlog
+  // bytes that did not reach disk.
+  Status SyncValueLog();
+
+  // Resolves an encoded ValuePointer back to the user value.
+  Status ResolveValuePointer(const Slice& pointer_value, std::string* value) const;
+
+  // True (and fills *victim) if some sealed vlog file's garbage fraction
+  // reached vlog_gc_garbage_ratio.
+  bool PickVlogGcVictim(uint64_t* victim) const;
+
+  // Blocks until no write-path pin on `victim` remains. The GC driver
+  // calls this, then flushes the memory component, then CompactVlogFile —
+  // after which nothing in memory or on disk references the victim.
+  void WaitVlogUnpinned(uint64_t victim);
+
+  // Rewrites every live pointer into `victim` (in-place compactions that
+  // re-append the values to the active vlog), deregisters the victim and
+  // unlinks it once no pinned version references it. *rewrites counts
+  // records moved.
+  Status CompactVlogFile(uint64_t victim, uint64_t* rewrites);
+
   uint64_t MaxPersistedSeq() const { return versions_->MaxPersistedSeq(); }
 
   // The pinned current version — level shape for tests and diagnostics.
@@ -117,6 +175,15 @@ class DiskComponent {
     uint64_t compactions = 0;
     uint64_t flushes = 0;
     uint64_t seeks_saved_by_bloom = 0;
+
+    // Value separation (all zero when disabled).
+    uint64_t vlog_files = 0;          // live vlog files
+    uint64_t vlog_bytes = 0;          // bytes in live vlog files
+    uint64_t vlog_bytes_written = 0;  // total bytes ever appended (write amp)
+    uint64_t vlog_writes = 0;         // records appended (incl. GC rewrites)
+    uint64_t vlog_reads = 0;          // pointer resolutions served
+    uint64_t vlog_garbage_bytes = 0;  // known-dead bytes across live files
+    uint64_t vlog_gc_rewrites = 0;    // records moved by vlog GC
 
     // Read-path caches (zero when the block cache is disabled).
     uint64_t block_cache_hits = 0;
@@ -158,11 +225,18 @@ class DiskComponent {
   // levels busy if work is available.
   bool PickCompactionLocked(CompactionJob* job);
   Status DoCompaction(const CompactionJob& job);
+  // Runs a manual job synchronously. Waits for every background
+  // compaction to finish, then calls `build` under the scheduling mutex
+  // against the then-current version (so the chosen inputs cannot be
+  // consumed by a racing job); `build` returning false means no work.
+  Status RunManualCompaction(const std::function<bool(const Version&, CompactionJob*)>& build,
+                             bool* did_work);
   void BackgroundWork();
   void RemoveObsoleteFiles();
 
   const DiskOptions options_;
   std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<ValueLog> value_log_;  // null unless separation enabled
 
   // Declaration order is a destruction-order contract: evicting the last
   // table handles (in ~table_cache_) runs TableReader destructors, which
@@ -196,6 +270,7 @@ class DiskComponent {
   std::atomic<uint64_t> compactions_{0};
   std::atomic<uint64_t> flushes_{0};
   mutable std::atomic<uint64_t> bloom_skips_{0};
+  std::atomic<uint64_t> vlog_gc_rewrites_{0};
 };
 
 }  // namespace flodb

@@ -1,0 +1,272 @@
+#include "flodb/disk/value_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "flodb/common/coding.h"
+#include "flodb/disk/crc32c.h"
+
+namespace flodb {
+
+namespace {
+constexpr size_t kVlogHeaderSize = 8;  // fixed32 masked_crc | fixed32 length
+}  // namespace
+
+void EncodeValuePointer(std::string* dst, const ValuePointer& ptr) {
+  PutVarint64(dst, ptr.file_number);
+  PutVarint64(dst, ptr.offset);
+  PutVarint32(dst, ptr.length);
+}
+
+bool DecodeValuePointer(Slice in, ValuePointer* ptr) {
+  return GetVarint64(&in, &ptr->file_number) && GetVarint64(&in, &ptr->offset) &&
+         GetVarint32(&in, &ptr->length) && in.empty();
+}
+
+std::string VlogFileName(const std::string& dbpath, uint64_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/%06" PRIu64 ".vlog", number);
+  return dbpath + buf;
+}
+
+ValueLog::ValueLog(Env* env, std::string dbpath, uint64_t file_target_bytes,
+                   std::function<uint64_t()> alloc_number,
+                   std::function<Status(uint64_t)> register_file)
+    : env_(env),
+      dbpath_(std::move(dbpath)),
+      file_target_bytes_(file_target_bytes),
+      alloc_number_(std::move(alloc_number)),
+      register_file_(std::move(register_file)) {}
+
+ValueLog::~ValueLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ != nullptr) {
+    active_->Close();
+  }
+}
+
+Status ValueLog::RotateLocked() {
+  if (active_ != nullptr) {
+    if (dirty_) {
+      Status s = active_->Sync();
+      if (!s.ok()) {
+        return s;
+      }
+      dirty_ = false;
+    }
+    Status s = active_->Close();
+    active_.reset();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  const uint64_t number = alloc_number_();
+  const std::string fname = VlogFileName(dbpath_, number);
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  // Register before serving appends: a crash after this point finds the
+  // file in the MANIFEST (or, if the registration itself was torn, no
+  // WAL record can reference the file yet — appends have not started).
+  s = register_file_(number);
+  if (!s.ok()) {
+    file->Close();
+    env_->RemoveFile(fname);
+    return s;
+  }
+  active_ = std::move(file);
+  active_number_ = number;
+  active_size_ = 0;
+  return Status::OK();
+}
+
+Status ValueLog::Append(const Slice& key, const Slice& value, ValuePointer* ptr, bool pin) {
+  std::string payload;
+  payload.reserve(kMaxVarint32Bytes + key.size() + value.size());
+  PutVarint32(&payload, static_cast<uint32_t>(key.size()));
+  payload.append(key.data(), key.size());
+  payload.append(value.data(), value.size());
+
+  std::string record;
+  record.reserve(kVlogHeaderSize + payload.size());
+  PutFixed32(&record, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(&record, static_cast<uint32_t>(payload.size()));
+  record.append(payload);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ == nullptr || active_size_ >= file_target_bytes_) {
+    Status s = RotateLocked();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  Status s = active_->Append(record);
+  if (s.ok()) {
+    // Readers go through RandomAccessFile handles; flush so the bytes are
+    // visible past the WritableFile's userspace buffer (not an fsync).
+    s = active_->Flush();
+  }
+  if (!s.ok()) {
+    return s;
+  }
+  ptr->file_number = active_number_;
+  ptr->offset = active_size_;
+  ptr->length = static_cast<uint32_t>(record.size());
+  active_size_ += record.size();
+  dirty_ = true;
+  if (pin) {
+    ++pins_[active_number_];
+  }
+  bytes_appended_.fetch_add(record.size(), std::memory_order_relaxed);
+  records_appended_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ValueLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ == nullptr || !dirty_) {
+    return Status::OK();
+  }
+  Status s = active_->Sync();
+  if (s.ok()) {
+    dirty_ = false;
+  }
+  return s;
+}
+
+Status ValueLog::ReaderForLocked(uint64_t file_number, std::shared_ptr<RandomAccessFile>* reader) {
+  auto it = readers_.find(file_number);
+  if (it != readers_.end()) {
+    *reader = it->second;
+    return Status::OK();
+  }
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = env_->NewRandomAccessFile(VlogFileName(dbpath_, file_number), &file);
+  if (!s.ok()) {
+    return s;
+  }
+  auto shared = std::shared_ptr<RandomAccessFile>(std::move(file));
+  readers_[file_number] = shared;
+  *reader = std::move(shared);
+  return Status::OK();
+}
+
+Status ValueLog::ReadRecord(RandomAccessFile* file, const ValuePointer& ptr, std::string* value) {
+  if (ptr.length < kVlogHeaderSize) {
+    return Status::Corruption("value pointer length too small");
+  }
+  std::string scratch(ptr.length, '\0');
+  Slice record;
+  Status s = file->Read(ptr.offset, ptr.length, &record, scratch.data());
+  if (!s.ok()) {
+    return s;
+  }
+  if (record.size() < ptr.length) {
+    return Status::Corruption("short vlog read");
+  }
+  const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(record.data()));
+  const uint32_t length = DecodeFixed32(record.data() + 4);
+  if (length != ptr.length - kVlogHeaderSize) {
+    return Status::Corruption("vlog record length mismatch");
+  }
+  Slice payload(record.data() + kVlogHeaderSize, length);
+  if (crc32c::Value(payload.data(), payload.size()) != expected_crc) {
+    return Status::Corruption("vlog record checksum mismatch");
+  }
+  uint32_t klen = 0;
+  if (!GetVarint32(&payload, &klen) || payload.size() < klen) {
+    return Status::Corruption("malformed vlog record");
+  }
+  payload.remove_prefix(klen);
+  value->assign(payload.data(), payload.size());
+  records_read_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ValueLog::Read(const ValuePointer& ptr, std::string* value) {
+  std::shared_ptr<RandomAccessFile> reader;
+  std::unique_lock<std::mutex> lock(mu_);
+  Status s = ReaderForLocked(ptr.file_number, &reader);
+  if (!s.ok()) {
+    return s;
+  }
+  if (ptr.file_number == active_number_ && active_ != nullptr) {
+    // Active-file reads stay under the lock: a concurrent append may
+    // reallocate the MemEnv backing store a zero-copy reader aliases.
+    return ReadRecord(reader.get(), ptr, value);
+  }
+  lock.unlock();
+  return ReadRecord(reader.get(), ptr, value);
+}
+
+void ValueLog::Unpin(uint64_t file_number) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(file_number);
+  if (it != pins_.end() && --it->second <= 0) {
+    pins_.erase(it);
+    pin_cv_.notify_all();
+  }
+}
+
+void ValueLog::WaitUnpinned(uint64_t file_number) {
+  std::unique_lock<std::mutex> lock(mu_);
+  pin_cv_.wait(lock, [&] { return pins_.find(file_number) == pins_.end(); });
+}
+
+void ValueLog::EvictReader(uint64_t file_number) {
+  std::lock_guard<std::mutex> lock(mu_);
+  readers_.erase(file_number);
+}
+
+uint64_t ValueLog::ActiveFileNumber() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_ != nullptr ? active_number_ : 0;
+}
+
+Status ValueLog::ScanFile(
+    Env* env, const std::string& fname, uint64_t file_number,
+    const std::function<void(const Slice& key, const Slice& value, const ValuePointer& ptr)>& fn) {
+  std::unique_ptr<SequentialFile> file;
+  Status s = env->NewSequentialFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  uint64_t offset = 0;
+  std::string payload;
+  while (true) {
+    char header[kVlogHeaderSize];
+    Slice h;
+    s = file->Read(sizeof(header), &h, header);
+    if (!s.ok() || h.size() < sizeof(header)) {
+      return Status::OK();  // clean EOF or truncated tail header
+    }
+    const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(h.data()));
+    const uint32_t length = DecodeFixed32(h.data() + 4);
+    payload.resize(length);
+    Slice body;
+    s = file->Read(length, &body, payload.data());
+    if (!s.ok() || body.size() < length) {
+      return Status::OK();  // torn tail record
+    }
+    if (crc32c::Value(body.data(), body.size()) != expected_crc) {
+      return Status::OK();  // torn tail record (CRC framing)
+    }
+    Slice in(body.data(), body.size());
+    uint32_t klen = 0;
+    if (!GetVarint32(&in, &klen) || in.size() < klen) {
+      return Status::Corruption("malformed vlog record payload");
+    }
+    Slice key(in.data(), klen);
+    in.remove_prefix(klen);
+    ValuePointer ptr;
+    ptr.file_number = file_number;
+    ptr.offset = offset;
+    ptr.length = kVlogHeaderSize + length;
+    fn(key, in, ptr);
+    offset += kVlogHeaderSize + length;
+  }
+}
+
+}  // namespace flodb

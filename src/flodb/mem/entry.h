@@ -19,6 +19,14 @@ namespace flodb {
 enum class ValueType : uint8_t {
   kValue = 0,
   kTombstone = 1,
+  // 2 and 3 are reserved: legacy single-update WAL records start with the
+  // ValueType byte, so those values would collide with kWalBatchRecordTag
+  // and kWalPrepareRecordTag (see disk/wal.h).
+  //
+  // The entry's value is an encoded ValuePointer into a *.vlog file, not
+  // the user value (value separation, see disk/value_log.h and
+  // docs/STORAGE.md). Resolved back to the user value at read time.
+  kValuePointer = 4,
 };
 
 // An entry buffered for a drain batch: owned copies of the key/value made

@@ -368,6 +368,54 @@ TEST_F(CompactionTest, TombstonesRetireAtBottomLevel) {
   EXPECT_TRUE(disk_->Get(Slice(EncodeKey(5)), nullptr, nullptr, nullptr).IsNotFound());
 }
 
+TEST_F(CompactionTest, CompactRangeCollapsesRangeToBottom) {
+  MemEnv env;
+  OpenDisk(SmallDisk(&env));
+  for (int round = 0; round < 4; ++round) {
+    FlushRange(0, 400, 1 + 400 * static_cast<uint64_t>(round), "r" + std::to_string(round));
+  }
+  // Full-range manual compaction: empty Slices are open ends.
+  ASSERT_TRUE(disk_->CompactRange(Slice(), Slice()).ok());
+  CheckLevelInvariants();
+  EXPECT_TRUE(disk_->CurrentVersion()->LevelFiles(0).empty());
+  // Shadowed versions are physically gone: the raw iterator sees each key
+  // exactly once, carrying the freshest round.
+  {
+    std::unique_ptr<Iterator> iter = disk_->NewIterator();
+    size_t entries = 0;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      EXPECT_EQ(iter->value().ToString(), "r3" + std::to_string(DecodeKey(iter->key())));
+      ++entries;
+    }
+    ASSERT_TRUE(iter->status().ok());
+    EXPECT_EQ(entries, 400u);
+  }
+  // Deletions compacted to the bottommost level retire outright.
+  FlushRange(0, 100, 2001, "d", ValueType::kTombstone);
+  ASSERT_TRUE(disk_->CompactRange(Slice(), Slice()).ok());
+  {
+    std::unique_ptr<Iterator> iter = disk_->NewIterator();
+    size_t entries = 0;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      EXPECT_NE(iter->type(), ValueType::kTombstone);
+      EXPECT_GE(DecodeKey(iter->key()), 100u);
+      ++entries;
+    }
+    ASSERT_TRUE(iter->status().ok());
+    EXPECT_EQ(entries, 300u);
+  }
+  // A bounded range with fresh L0 on top: L0 inputs expand to the key-span
+  // fixpoint, so the narrow request still drains every overlapping L0 run
+  // (L0 runs span the whole keyspace here).
+  FlushRange(0, 400, 3001, "r4");
+  ASSERT_TRUE(disk_->CompactRange(Slice(EncodeKey(50)), Slice(EncodeKey(60))).ok());
+  CheckLevelInvariants();
+  EXPECT_TRUE(disk_->CurrentVersion()->LevelFiles(0).empty());
+  std::string value;
+  ASSERT_TRUE(disk_->Get(Slice(EncodeKey(55)), &value, nullptr, nullptr).ok());
+  EXPECT_EQ(value, "r455");
+}
+
 TEST_F(CompactionTest, ReopenEquivalence) {
   MemEnv env;
   DiskOptions options = SmallDisk(&env);
