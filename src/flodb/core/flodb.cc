@@ -42,7 +42,27 @@ MemBuffer* FloDB::NewMembuffer() const {
   }
   mo.partition_bits = options_.membuffer_partition_bits;
   mo.avg_entry_bytes_hint = options_.membuffer_avg_entry_hint;
+  mo.dead_pointer_fn = MakeDeadPointerFn();
   return new MemBuffer(mo);
+}
+
+MemTable* FloDB::NewMemTable() const {
+  return new MemTable(memtable_target_bytes_, MakeDeadPointerFn());
+}
+
+DeadPointerFn FloDB::MakeDeadPointerFn() const {
+  if (disk_ == nullptr || !disk_->SeparationEnabled()) {
+    return {};
+  }
+  // Hot-key overwrites replace a pointer entry in place in the memory
+  // component; the dead vlog record's bytes would otherwise never be
+  // charged to garbage accounting (only flush/compaction dedup charge)
+  // and the GC picker could not see them. The disk component outlives
+  // every memory structure (destroyed last in ~FloDB), so the raw
+  // capture is safe.
+  return [disk = disk_.get()](const Slice& pointer_value) {
+    disk->ReportVlogGarbage(pointer_value);
+  };
 }
 
 Status FloDB::Open(const FloDbOptions& options, std::unique_ptr<FloDB>* out) {
@@ -85,7 +105,7 @@ Status FloDB::Open(const FloDbOptions& options, std::unique_ptr<FloDB>* out) {
     db->global_seq_.store(db->disk_->MaxPersistedSeq() + 1, std::memory_order_relaxed);
   }
 
-  db->mtb_.store(new MemTable(db->memtable_target_bytes_), std::memory_order_relaxed);
+  db->mtb_.store(db->NewMemTable(), std::memory_order_relaxed);
   if (options.enable_membuffer) {
     db->mbf_.store(db->NewMembuffer(), std::memory_order_relaxed);
   }
@@ -165,8 +185,15 @@ Status FloDB::SeparateLargeValues(WriteBatch* batch, WriteBatch* shadow,
   // ahead of the WAL so a durable record never references lost bytes. A
   // crash between here and the commit only strands garbage records in the
   // vlog (reclaimed by GC), never a dangling pointer.
+  //
+  // The per-entry append error is tracked separately from ForEach's own
+  // rep-parse status: ForEach returns OK for a well-formed rep even when
+  // the lambda bailed early, and letting it overwrite the append error
+  // would commit a truncated shadow batch — silently dropping the failed
+  // entry and everything after it.
+  Status append_error;
   s = batch->ForEach([&](const Slice& key, const Slice& value, ValueType type) {
-    if (!s.ok()) {
+    if (!append_error.ok()) {
       return;
     }
     if (type == ValueType::kValue && static_cast<int64_t>(value.size()) >= threshold) {
@@ -174,7 +201,7 @@ Status FloDB::SeparateLargeValues(WriteBatch* batch, WriteBatch* shadow,
       uint64_t pinned = 0;
       Status as = disk_->AppendToValueLog(key, value, &pointer, &pinned);
       if (!as.ok()) {
-        s = as;
+        append_error = as;
         return;
       }
       if (std::find(pins->begin(), pins->end(), pinned) == pins->end()) {
@@ -189,10 +216,14 @@ Status FloDB::SeparateLargeValues(WriteBatch* batch, WriteBatch* shadow,
       shadow->Put(key, value);
     }
   });
-  if (s.ok()) {
-    *commit = shadow;
+  if (!s.ok()) {
+    return s;
   }
-  return s;
+  if (!append_error.ok()) {
+    return append_error;
+  }
+  *commit = shadow;
+  return Status::OK();
 }
 
 Status FloDB::Write(const WriteOptions& options, WriteBatch* batch) {
@@ -665,29 +696,44 @@ Status FloDB::CompactRange(const Slice& begin, const Slice& end) {
   return disk_->CompactRange(begin, end);
 }
 
-Status FloDB::CompactValueLogGarbage(bool* performed) {
+Status FloDB::CompactValueLogGarbage(bool* performed, std::vector<uint64_t>* victims_out) {
   if (performed != nullptr) {
     *performed = false;
+  }
+  if (victims_out != nullptr) {
+    victims_out->clear();
   }
   if (disk_ == nullptr || !disk_->SeparationEnabled()) {
     return Status::OK();
   }
-  uint64_t victim;
-  if (!disk_->PickVlogGcVictim(&victim)) {
-    return Status::OK();
+  // One round collects EVERY file over the garbage ratio: the table
+  // rewrites that relocate pointers dominate GC cost and each table
+  // usually references many vlog files, so batching the victims rewrites
+  // each table once instead of once per victim.
+  std::vector<uint64_t> victims;
+  {
+    std::lock_guard<std::mutex> lock(vlog_gc_mu_);
+    if (!disk_->PickVlogGcVictims(&victims, &vlog_gc_quarantined_)) {
+      return Status::OK();
+    }
+  }
+  if (victims_out != nullptr) {
+    *victims_out = victims;
   }
   // GC barrier discipline (docs/STORAGE.md §10): wait out write-path pins
-  // on the victim, flush memory so no pointer into it hides in a
-  // Memtable, then rewrite every on-disk pointer. After CompactVlogFile
-  // the victim is deregistered; the file itself is unlinked only once no
-  // pinned Version references it.
-  disk_->WaitVlogUnpinned(victim);
+  // on the victims, flush memory so no pointer into them hides in a
+  // Memtable, then rewrite every on-disk pointer. After CompactVlogFiles
+  // the victims are deregistered; the files themselves are unlinked only
+  // once no pinned Version references them.
+  for (uint64_t victim : victims) {
+    disk_->WaitVlogUnpinned(victim);
+  }
   Status s = FlushAll();
   if (!s.ok() || stop_.load(std::memory_order_relaxed)) {
     return s;
   }
   uint64_t rewrites = 0;
-  s = disk_->CompactVlogFile(victim, &rewrites);
+  s = disk_->CompactVlogFiles(victims, &rewrites);
   if (s.ok() && performed != nullptr) {
     *performed = true;
   }
@@ -743,6 +789,11 @@ StoreStats FloDB::GetStats() const {
   stats.persist_failures = persist_failures_.load(std::memory_order_relaxed);
   stats.txn_prepares = txn_prepares_.load(std::memory_order_relaxed);
   stats.orphaned_prepares = orphaned_prepares_.load(std::memory_order_relaxed);
+  stats.vlog_gc_failures = vlog_gc_failed_rounds_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(vlog_gc_mu_);
+    stats.vlog_gc_quarantined = vlog_gc_quarantined_.size();
+  }
   if (disk_ != nullptr) {
     stats.disk = disk_->GetStats();
   }

@@ -35,8 +35,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -83,9 +85,13 @@ class FloDB final : public KVStore {
   // in-flight write pins, flushes memory (so no pointer into the victim
   // hides in a Memtable) and rewrites the victim's live records. The
   // background GC thread runs exactly this; tests call it directly.
-  // *performed (optional) reports whether a victim was collected. No-op
-  // OK when value separation is disabled.
-  Status CompactValueLogGarbage(bool* performed = nullptr);
+  // *performed (optional) reports whether a victim was collected, and
+  // *victim (optional) which vlog file was attempted — filled even on
+  // failure so the GC loop can quarantine a victim that keeps failing
+  // (e.g. an unreadable record). No-op OK when value separation is
+  // disabled.
+  Status CompactValueLogGarbage(bool* performed = nullptr,
+                                std::vector<uint64_t>* victims_out = nullptr);
 
   // ---- introspection for tests and benchmarks ----
   uint64_t CurrentSeq() const { return global_seq_.load(std::memory_order_relaxed); }
@@ -171,6 +177,11 @@ class FloDB final : public KVStore {
                       bool exclusive_start, std::vector<ScanEntry>* out);
 
   MemBuffer* NewMembuffer() const;
+  // A Memtable wired (when value separation is on) to report in-place
+  // superseded vlog pointers to the disk component's garbage accounting.
+  MemTable* NewMemTable() const;
+  // The DeadPointerFn both factories install; null when separation is off.
+  DeadPointerFn MakeDeadPointerFn() const;
 
   // Swaps in a fresh Membuffer, synchronizes, and fully drains the old one
   // (with help from spilling writers). Returns the drained-out buffer,
@@ -345,6 +356,15 @@ class FloDB final : public KVStore {
   std::thread vlog_gc_thread_;  // started only when separation is enabled
   std::atomic<bool> stop_{false};
 
+  // Vlog GC victims that failed kGcQuarantineThreshold consecutive
+  // rounds (e.g. an unreadable record): skipped by the picker so a
+  // permanently corrupt file cannot wedge the GC loop into hot-retrying
+  // WaitVlogUnpinned + FlushAll + a failing compaction forever. Guarded
+  // by vlog_gc_mu_; surfaced via the vlog_gc_quarantined stat.
+  mutable std::mutex vlog_gc_mu_;
+  std::set<uint64_t> vlog_gc_quarantined_;
+  std::map<uint64_t, int> vlog_gc_failures_;  // victim -> consecutive failures
+
   // Stats.
   mutable std::atomic<uint64_t> puts_{0}, gets_{0}, deletes_{0}, scans_{0};
   mutable std::atomic<uint64_t> batch_writes_{0}, batch_entries_{0};
@@ -358,6 +378,7 @@ class FloDB final : public KVStore {
   mutable std::atomic<uint64_t> group_commit_groups_{0}, group_commit_writers_{0};
   mutable std::atomic<uint64_t> persist_failures_{0};
   mutable std::atomic<uint64_t> txn_prepares_{0}, orphaned_prepares_{0};
+  mutable std::atomic<uint64_t> vlog_gc_failed_rounds_{0};
 };
 
 }  // namespace flodb

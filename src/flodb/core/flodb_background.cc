@@ -54,14 +54,86 @@ void FloDB::StopBackgroundThreads() {
 // Garbage-ratio-triggered vlog GC (DESIGN.md §13). Runs outside
 // PersistLoop on purpose: a GC round flushes the memory component, and
 // the persist thread cannot wait on itself. Polling is cheap —
-// PickVlogGcVictim is a walk over the (small) live-vlog map.
+// PickVlogGcVictims is a walk over the (small) live-vlog map. A round
+// batches every file over the garbage ratio so the pointer-relocating
+// table rewrites run once per table, not once per victim.
+//
+// Failed rounds back off exponentially (10ms doubling to 5s) instead of
+// hot-retrying: a round failure usually means the victim is unreadable
+// (e.g. a corrupt record), and each retry is expensive — it waits out
+// pinned readers and flushes the whole memory component before the
+// rewrite fails again. A victim that fails kGcQuarantineAfter rounds in
+// a row is quarantined (skipped by the picker) so one broken file cannot
+// starve GC of every other file; the quarantine is surfaced through
+// StoreStats::vlog_gc_quarantined and lasts until the store reopens.
 void FloDB::VlogGcLoop() {
   constexpr auto kGcIdleSleep = std::chrono::milliseconds(10);
+  constexpr auto kGcCooldown = std::chrono::milliseconds(500);
+  constexpr auto kGcMaxBackoff = std::chrono::milliseconds(5000);
+  constexpr int kGcQuarantineAfter = 3;
+  auto backoff = kGcIdleSleep;
+  // Sleep in short stop_-checked slices so shutdown never waits out a
+  // full backoff interval.
+  auto interruptible_sleep = [this](std::chrono::milliseconds total) {
+    constexpr auto kSlice = std::chrono::milliseconds(10);
+    while (total.count() > 0 && !stop_.load(std::memory_order_relaxed)) {
+      auto chunk = std::min(total, kSlice);
+      std::this_thread::sleep_for(chunk);
+      total -= chunk;
+    }
+  };
   while (!stop_.load(std::memory_order_relaxed)) {
     bool performed = false;
-    Status s = CompactValueLogGarbage(&performed);
+    std::vector<uint64_t> victims;
+    Status s = CompactValueLogGarbage(&performed, &victims);
     if (!s.ok()) {
-      fprintf(stderr, "flodb: vlog GC round failed (will retry): %s\n", s.ToString().c_str());
+      vlog_gc_failed_rounds_.fetch_add(1, std::memory_order_relaxed);
+      // A batched round does not know which victim broke it, so every
+      // victim of the failed round takes a strike. An innocent file can
+      // only be struck while some broken file stays eligible, and it
+      // leaves quarantine at reopen — acceptable collateral for keeping
+      // the retry loop bounded.
+      size_t newly_quarantined = 0;
+      {
+        std::lock_guard<std::mutex> lock(vlog_gc_mu_);
+        for (uint64_t victim : victims) {
+          if (++vlog_gc_failures_[victim] >= kGcQuarantineAfter) {
+            vlog_gc_quarantined_.insert(victim);
+            vlog_gc_failures_.erase(victim);
+            ++newly_quarantined;
+          }
+        }
+      }
+      if (newly_quarantined > 0) {
+        fprintf(stderr,
+                "flodb: vlog GC round failed %d times over %zu file(s), "
+                "quarantining %zu of them: %s\n",
+                kGcQuarantineAfter, victims.size(), newly_quarantined,
+                s.ToString().c_str());
+      } else {
+        fprintf(stderr, "flodb: vlog GC round failed (will retry): %s\n", s.ToString().c_str());
+      }
+      interruptible_sleep(backoff);
+      backoff = std::min(backoff * 2, kGcMaxBackoff);
+      continue;
+    }
+    backoff = kGcIdleSleep;
+    if (performed && !victims.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(vlog_gc_mu_);
+        for (uint64_t victim : victims) {
+          vlog_gc_failures_.erase(victim);
+        }
+      }
+      // Cooldown after a productive round. Under sustained overwrite
+      // churn, files cross the garbage ratio continuously; back-to-back
+      // rounds would relocate the same live records over and over, each
+      // relocation at ratio r moving (1-r)/r live bytes per reclaimed
+      // byte. Waiting lets garbage concentrate so the next round moves
+      // fewer live bytes — transient space traded for write-amp. Manual
+      // CompactValueLogGarbage callers (tests, drain loops) are not
+      // throttled.
+      interruptible_sleep(kGcCooldown);
     }
     if (!performed) {
       std::this_thread::sleep_for(kGcIdleSleep);
@@ -347,7 +419,7 @@ void FloDB::PersistLoop() {
       //    (§4.2).
       old = mtb_.load(std::memory_order_seq_cst);
       imm_mtb_.store(old, std::memory_order_seq_cst);
-      mtb_.store(new MemTable(memtable_target_bytes_), std::memory_order_seq_cst);
+      mtb_.store(NewMemTable(), std::memory_order_seq_cst);
       persist_done_cv_.notify_all();
 
       // Grace period #1: all pending updates to `old` have completed
@@ -523,7 +595,7 @@ Status FloDB::RecoverFromWal() {
     if (!s.ok()) {
       return s;
     }
-    mtb_.store(new MemTable(memtable_target_bytes_), std::memory_order_relaxed);
+    mtb_.store(NewMemTable(), std::memory_order_relaxed);
     delete mtb;
   }
   for (uint64_t number : wal_numbers) {

@@ -47,7 +47,7 @@ struct CompactionJob {
 
   // Vlog GC: kValuePointer entries into these files are resolved and
   // re-appended to the active vlog so the victims lose their last
-  // references (see DiskComponent::CompactVlogFile).
+  // references (see DiskComponent::CompactVlogFiles).
   std::vector<uint64_t> rewrite_vlogs;
 };
 

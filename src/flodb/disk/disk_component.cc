@@ -315,6 +315,22 @@ Status DiskComponent::AddRun(Iterator* iter) {
   meta.largest_seq = builder.largest_seq();
   meta.vlog_refs.assign(vlog_refs.begin(), vlog_refs.end());
 
+  // Fold garbage observed in the memory component into this flush's
+  // edit: the flush is the generation boundary — the WAL records that
+  // could replay (and re-derive) those deaths are deleted once this
+  // cycle completes, so this is the earliest point the counts may
+  // persist without double-counting across a crash. (Deaths staged
+  // while the table was being built belong to the next generation and
+  // fold one flush early — a bounded, benign over-count on crash.)
+  std::map<uint64_t, uint64_t> staged;
+  {
+    std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+    staged.swap(reported_garbage_);
+  }
+  for (const auto& [vlog_number, bytes] : staged) {
+    vlog_garbage[vlog_number] += bytes;
+  }
+
   VersionEdit edit;
   edit.added.emplace_back(0, std::move(meta));
   for (const auto& [vlog_number, bytes] : vlog_garbage) {
@@ -322,6 +338,12 @@ Status DiskComponent::AddRun(Iterator* iter) {
   }
   s = versions_->LogAndApply(edit);
   if (!s.ok()) {
+    // Re-stage so the observed garbage is not lost; a later flush or the
+    // live GC picker still sees it.
+    std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+    for (const auto& [vlog_number, bytes] : staged) {
+      reported_garbage_[vlog_number] += bytes;
+    }
     return s;
   }
   bytes_flushed_.fetch_add(builder.FileSize(), std::memory_order_relaxed);
@@ -879,28 +901,50 @@ Status DiskComponent::ResolveValuePointer(const Slice& pointer_value, std::strin
   return value_log_->Read(ptr, value);
 }
 
-bool DiskComponent::PickVlogGcVictim(uint64_t* victim) const {
+void DiskComponent::ReportVlogGarbage(const Slice& pointer_value) {
+  if (value_log_ == nullptr) {
+    return;
+  }
+  ValuePointer ptr;
+  if (!DecodeValuePointer(pointer_value, &ptr)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+  reported_garbage_[ptr.file_number] += ptr.length;
+}
+
+bool DiskComponent::PickVlogGcVictims(std::vector<uint64_t>* victims,
+                                      const std::set<uint64_t>* skip) const {
+  victims->clear();
   if (value_log_ == nullptr) {
     return false;
   }
   const uint64_t active = value_log_->ActiveFileNumber();
   std::shared_ptr<const Version> v = versions_->Current();
   for (const auto& [number, garbage] : v->VlogFiles()) {
-    if (number == active || garbage == 0) {
+    if (number == active || (skip != nullptr && skip->count(number) != 0)) {
       continue;  // the active file is still growing; never a victim
+    }
+    uint64_t staged = 0;
+    {
+      std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+      auto it = reported_garbage_.find(number);
+      staged = it != reported_garbage_.end() ? it->second : 0;
+    }
+    if (garbage + staged == 0) {
+      continue;
     }
     uint64_t size = 0;
     if (!options_.env->GetFileSize(VlogFileName(options_.path, number), &size).ok() ||
         size == 0) {
       continue;
     }
-    if (static_cast<double>(garbage) >=
+    if (static_cast<double>(garbage + staged) >=
         options_.vlog_gc_garbage_ratio * static_cast<double>(size)) {
-      *victim = number;
-      return true;
+      victims->push_back(number);
     }
   }
-  return false;
+  return !victims->empty();
 }
 
 void DiskComponent::WaitVlogUnpinned(uint64_t victim) {
@@ -909,14 +953,29 @@ void DiskComponent::WaitVlogUnpinned(uint64_t victim) {
   }
 }
 
-Status DiskComponent::CompactVlogFile(uint64_t victim, uint64_t* rewrites) {
+Status DiskComponent::CompactVlogFiles(const std::vector<uint64_t>& victims,
+                                       uint64_t* rewrites) {
   if (value_log_ == nullptr) {
     return Status::NotSupported("value separation disabled");
   }
+  if (victims.empty()) {
+    return Status::OK();
+  }
   const uint64_t before = vlog_gc_rewrites_.load(std::memory_order_relaxed);
-  // Rewrite every table still referencing the victim, level by level,
+  // Rewrite every table still referencing any victim, level by level,
   // until the current version holds no reference. In-place jobs: only the
-  // pointers move, the level shape stays.
+  // pointers move, the level shape stays. Batching all victims into one
+  // pass matters for write amplification: a table's values are scattered
+  // across many vlog files, so per-victim passes would rewrite the same
+  // table once per victim instead of once total.
+  const auto references_victim = [&victims](const FileMetaData& f) {
+    for (uint64_t victim : victims) {
+      if (std::binary_search(f.vlog_refs.begin(), f.vlog_refs.end(), victim)) {
+        return true;
+      }
+    }
+    return false;
+  };
   while (true) {
     bool did_work = false;
     Status s = RunManualCompaction(
@@ -924,7 +983,7 @@ Status DiskComponent::CompactVlogFile(uint64_t victim, uint64_t* rewrites) {
           for (int level = 0; level < v.NumLevels(); ++level) {
             std::vector<FileMetaData> inputs;
             for (const FileMetaData& f : v.LevelFiles(level)) {
-              if (std::binary_search(f.vlog_refs.begin(), f.vlog_refs.end(), victim)) {
+              if (references_victim(f)) {
                 inputs.push_back(f);
               }
             }
@@ -942,7 +1001,7 @@ Status DiskComponent::CompactVlogFile(uint64_t victim, uint64_t* rewrites) {
             job->level = level;
             job->output_level = level;
             job->inputs_lo = std::move(inputs);
-            job->rewrite_vlogs.push_back(victim);
+            job->rewrite_vlogs = victims;
             return true;
           }
           return false;
@@ -955,14 +1014,22 @@ Status DiskComponent::CompactVlogFile(uint64_t victim, uint64_t* rewrites) {
       break;
     }
   }
-  // No current table references the victim; deregister it. The unlink
-  // happens in RemoveObsoleteFiles once every pinned older version (a
-  // long scan, say) is released — the GC barrier discipline.
+  // No current table references the victims; deregister them in one edit.
+  // The unlink happens in RemoveObsoleteFiles once every pinned older
+  // version (a long scan, say) is released — the GC barrier discipline.
   VersionEdit edit;
-  edit.deleted_vlogs.push_back(victim);
+  edit.deleted_vlogs = victims;
   Status s = versions_->LogAndApply(edit);
   if (!s.ok()) {
     return s;
+  }
+  {
+    // The files are gone from the version; staged garbage for them is moot
+    // (and must not fold into a later edit naming a dead file).
+    std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+    for (uint64_t victim : victims) {
+      reported_garbage_.erase(victim);
+    }
   }
   if (rewrites != nullptr) {
     *rewrites = vlog_gc_rewrites_.load(std::memory_order_relaxed) - before;
@@ -987,6 +1054,13 @@ DiskComponent::Stats DiskComponent::GetStats() const {
   for (const auto& [number, garbage] : v->VlogFiles()) {
     ++stats.vlog_files;
     stats.vlog_garbage_bytes += garbage;
+    {
+      std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+      auto it = reported_garbage_.find(number);
+      if (it != reported_garbage_.end()) {
+        stats.vlog_garbage_bytes += it->second;
+      }
+    }
     uint64_t size = 0;
     if (options_.env->GetFileSize(VlogFileName(options_.path, number), &size).ok()) {
       stats.vlog_bytes += size;

@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -146,20 +147,38 @@ class DiskComponent {
   // Resolves an encoded ValuePointer back to the user value.
   Status ResolveValuePointer(const Slice& pointer_value, std::string* value) const;
 
-  // True (and fills *victim) if some sealed vlog file's garbage fraction
-  // reached vlog_gc_garbage_ratio.
-  bool PickVlogGcVictim(uint64_t* victim) const;
+  // Records that the vlog record behind `pointer_value` died in the
+  // memory component (a hot key's pointer was replaced in place in the
+  // Membuffer or Memtable), so its entry will never reach a flush or
+  // compaction dedup. Staged in memory and folded into the next flush's
+  // VersionEdit — the flush is the generation boundary after which the
+  // WAL records that could replay (and re-derive) these deaths are
+  // deleted, so persisting the counts earlier would double-count across
+  // a crash. No-op when separation is disabled or the pointer is
+  // malformed.
+  void ReportVlogGarbage(const Slice& pointer_value);
+
+  // Fills *victims with every sealed vlog file whose garbage fraction
+  // reached vlog_gc_garbage_ratio; true if any. Staged (not yet flushed)
+  // garbage from ReportVlogGarbage counts toward the trigger. Files in
+  // `skip` (GC quarantine, may be null) are never picked. All eligible
+  // victims are returned at once because a table typically references
+  // many vlog files: collecting them in one CompactVlogFiles pass
+  // rewrites each referencing table once instead of once per victim.
+  bool PickVlogGcVictims(std::vector<uint64_t>* victims,
+                         const std::set<uint64_t>* skip = nullptr) const;
 
   // Blocks until no write-path pin on `victim` remains. The GC driver
-  // calls this, then flushes the memory component, then CompactVlogFile —
-  // after which nothing in memory or on disk references the victim.
+  // calls this for each victim, then flushes the memory component, then
+  // CompactVlogFiles — after which nothing in memory or on disk
+  // references the victims.
   void WaitVlogUnpinned(uint64_t victim);
 
-  // Rewrites every live pointer into `victim` (in-place compactions that
-  // re-append the values to the active vlog), deregisters the victim and
-  // unlinks it once no pinned version references it. *rewrites counts
-  // records moved.
-  Status CompactVlogFile(uint64_t victim, uint64_t* rewrites);
+  // Rewrites every live pointer into any of `victims` (in-place
+  // compactions that re-append the values to the active vlog),
+  // deregisters the victims and unlinks them once no pinned version
+  // references them. *rewrites counts records moved.
+  Status CompactVlogFiles(const std::vector<uint64_t>& victims, uint64_t* rewrites);
 
   uint64_t MaxPersistedSeq() const { return versions_->MaxPersistedSeq(); }
 
@@ -251,6 +270,13 @@ class DiskComponent {
   // LogAndApply (the classic pending-outputs race).
   std::mutex pending_mu_;
   std::set<uint64_t> pending_outputs_;
+
+  // Vlog garbage observed in the memory component (ReportVlogGarbage),
+  // staged until the next successful flush folds it into that flush's
+  // VersionEdit. The GC picker and stats read it live so idle periods
+  // still see the garbage.
+  mutable std::mutex reported_garbage_mu_;
+  std::map<uint64_t, uint64_t> reported_garbage_;  // vlog number -> bytes
 
   struct PendingOutput;
 

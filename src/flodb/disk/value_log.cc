@@ -109,6 +109,7 @@ Status ValueLog::Append(const Slice& key, const Slice& value, ValuePointer* ptr,
     s = active_->Flush();
   }
   if (!s.ok()) {
+    RetireBrokenActiveLocked();
     return s;
   }
   ptr->file_number = active_number_;
@@ -124,8 +125,46 @@ Status ValueLog::Append(const Slice& key, const Slice& value, ValuePointer* ptr,
   return Status::OK();
 }
 
+// REQUIRES: mu_ held. A failed Append/Flush leaves the file's physical
+// length unknown — a partial physical write can put the real file length
+// ahead of active_size_, so a later successful append would get a
+// ValuePointer whose offset no longer matches the on-disk record (a
+// durably acked write that fails CRC on read). Never append to such a
+// file again: sync what did land (earlier records may already be
+// referenced by a WAL group that has not committed yet), remember a sync
+// failure so the next Sync() fails that group, and drop the writer — the
+// next Append rotates to a fresh file. The torn tail is unreferenced and
+// framed out by CRC on any scan.
+void ValueLog::RetireBrokenActiveLocked() {
+  if (active_ == nullptr) {
+    return;
+  }
+  if (dirty_) {
+    Status s = active_->Sync();
+    if (s.ok()) {
+      dirty_ = false;
+    } else if (sticky_sync_error_.ok()) {
+      sticky_sync_error_ = s;
+    }
+  }
+  active_->Close();
+  active_.reset();
+}
+
 Status ValueLog::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!sticky_sync_error_.ok()) {
+    // A retired broken file still holds unsynced records; the group
+    // commit covering them must fail (a false durability ack is the one
+    // outcome this path may never produce). Report once: later groups
+    // only reference post-rotation appends.
+    Status s = sticky_sync_error_;
+    sticky_sync_error_ = Status::OK();
+    if (active_ != nullptr && dirty_ && active_->Sync().ok()) {
+      dirty_ = false;
+    }
+    return s;
+  }
   if (active_ == nullptr || !dirty_) {
     return Status::OK();
   }

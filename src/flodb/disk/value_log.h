@@ -104,6 +104,9 @@ class ValueLog {
 
  private:
   Status RotateLocked();
+  // Seals and drops the active writer after a failed Append/Flush left
+  // its physical length unknown; the next Append opens a fresh file.
+  void RetireBrokenActiveLocked();
   Status ReaderForLocked(uint64_t file_number, std::shared_ptr<RandomAccessFile>* reader);
   Status ReadRecord(RandomAccessFile* file, const ValuePointer& ptr, std::string* value);
 
@@ -119,6 +122,10 @@ class ValueLog {
   uint64_t active_number_ = 0;
   uint64_t active_size_ = 0;
   bool dirty_ = false;  // active_ has appends not yet fsync'd
+  // Set when a broken active file was retired with unsynced records
+  // still unsyncable; the next Sync() reports it so the covering group
+  // commit fails instead of falsely acking durability.
+  Status sticky_sync_error_;
   std::map<uint64_t, int> pins_;
   std::map<uint64_t, std::shared_ptr<RandomAccessFile>> readers_;
 

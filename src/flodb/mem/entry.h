@@ -10,11 +10,20 @@
 #define FLODB_MEM_ENTRY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "flodb/common/slice.h"
 
 namespace flodb {
+
+// Invoked with the encoded ValuePointer of a kValuePointer entry the
+// moment its last in-memory holder is superseded (an in-place update or
+// a lost max-seq race). FloDB wires this to the disk component's vlog
+// garbage accounting so hot-key overwrites that die in memory — and
+// therefore never reach a flush or compaction dedup — still make the
+// dead vlog record's bytes visible to the GC victim picker.
+using DeadPointerFn = std::function<void(const Slice& pointer_value)>;
 
 enum class ValueType : uint8_t {
   kValue = 0,
