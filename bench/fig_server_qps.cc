@@ -16,10 +16,10 @@
 //   --json out.json       machine-readable rows (also FLODB_BENCH_JSON)
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "bench_common.h"
+#include "flodb/common/synchronization.h"
 #include "flodb/bench_util/latency.h"
 #include "flodb/common/clock.h"
 #include "flodb/common/key_codec.h"
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
       std::atomic<uint64_t> total_ops{0};
       std::atomic<bool> failed{false};
       LatencyRecorder merged;
-      std::mutex merge_mu;
+      flodb::Mutex merge_mu;
 
       std::vector<std::thread> clients;
       clients.reserve(static_cast<size_t>(conns));
@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
             ops += static_cast<uint64_t>(depth);
           }
           total_ops.fetch_add(ops, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(merge_mu);
+          flodb::MutexLock lock(merge_mu);
           merged.Merge(local);
         });
       }

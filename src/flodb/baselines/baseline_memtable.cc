@@ -102,7 +102,7 @@ void BaselineMemTable::Add(const Slice& key, const Slice& value, uint64_t seq, V
 
   HashBucket& bucket = buckets_[Hash64(key, 0xba5e11) & (kHashBuckets - 1)];
   {
-    SpinLockGuard guard(bucket.lock);
+    SpinLockHolder guard(bucket.lock);
     bucket.entries.push_back(entry);
   }
   hash_count_.fetch_add(1, std::memory_order_relaxed);
@@ -136,7 +136,7 @@ bool BaselineMemTable::Get(const Slice& key, uint64_t snapshot_seq, std::string*
   }
 
   const HashBucket& bucket = buckets_[Hash64(key, 0xba5e11) & (kHashBuckets - 1)];
-  SpinLockGuard guard(bucket.lock);
+  SpinLockHolder guard(bucket.lock);
   // Newest versions were appended last; scan backwards.
   for (auto it = bucket.entries.rbegin(); it != bucket.entries.rend(); ++it) {
     const HashEntry* entry = *it;
@@ -208,7 +208,7 @@ std::unique_ptr<Iterator> BaselineMemTable::NewSortedIterator() const {
   std::vector<SortedVectorIterator::Item> items;
   items.reserve(hash_count_.load(std::memory_order_relaxed));
   for (const HashBucket& bucket : buckets_) {
-    SpinLockGuard guard(bucket.lock);
+    SpinLockHolder guard(bucket.lock);
     for (const HashEntry* entry : bucket.entries) {
       items.push_back(SortedVectorIterator::Item{entry->key().ToString(),
                                                  entry->value().ToString(), entry->seq,

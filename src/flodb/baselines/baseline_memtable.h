@@ -32,7 +32,7 @@
 #include "flodb/common/slice.h"
 #include "flodb/disk/iterator.h"
 #include "flodb/mem/skiplist.h"
-#include "flodb/sync/spinlock.h"
+#include "flodb/common/synchronization.h"
 
 namespace flodb {
 
@@ -88,7 +88,7 @@ class BaselineMemTable {
 
   struct HashBucket {
     mutable SpinLock lock;
-    std::vector<const HashEntry*> entries;  // append order = oldest first
+    std::vector<const HashEntry*> entries GUARDED_BY(lock);  // append order = oldest first
   };
 
   const Kind kind_;

@@ -34,8 +34,8 @@ Status BaselineStore::Open(const BaselineOptions& options, std::unique_ptr<Basel
 
 BaselineStore::~BaselineStore() {
   stop_.store(true, std::memory_order_seq_cst);
-  flush_cv_.notify_all();
-  room_cv_.notify_all();
+  flush_cv_.SignalAll();
+  room_cv_.SignalAll();
   if (flush_thread_.joinable()) {
     flush_thread_.join();
   }
@@ -89,23 +89,28 @@ Status BaselineStore::Update(const Slice& key, const Slice& value, ValueType typ
 }
 
 void BaselineStore::SwapMemtableLocked() {
+  db_mu_.AssertHeld();
   BaselineMemTable* full = mem_.load(std::memory_order_seq_cst);
   imm_.store(full, std::memory_order_seq_cst);
   mem_.store(NewMemTable(), std::memory_order_seq_cst);
-  flush_cv_.notify_all();
+  flush_cv_.SignalAll();
 }
 
 void BaselineStore::EnsureRoom() {
-  std::unique_lock<std::mutex> db(db_mu_);
+  // Explicit lock()/unlock() pairing (not MutexLock): the cLSM branch
+  // drops db_mu_ to take clsm_mu_ exclusively first (lock ordering:
+  // clsm_mu_ before db_mu_), and the analysis checks the manual pairing
+  // on every branch.
+  db_mu_.lock();
   while (!stop_.load(std::memory_order_relaxed) &&
          mem_.load(std::memory_order_seq_cst)->OverTarget()) {
     if (imm_.load(std::memory_order_seq_cst) == nullptr) {
       if (options_.concurrency == Concurrency::kCLSM) {
         // cLSM blocks every operation while the memory component is
         // switched: take the shared-exclusive lock exclusively.
-        db.unlock();
-        std::unique_lock<std::shared_mutex> exclusive(clsm_mu_);
-        std::unique_lock<std::mutex> db2(db_mu_);
+        db_mu_.unlock();
+        WriterMutexLock exclusive(clsm_mu_);
+        MutexLock db2(db_mu_);
         if (imm_.load(std::memory_order_seq_cst) == nullptr &&
             mem_.load(std::memory_order_seq_cst)->OverTarget()) {
           SwapMemtableLocked();
@@ -113,12 +118,14 @@ void BaselineStore::EnsureRoom() {
         return;
       }
       SwapMemtableLocked();
+      db_mu_.unlock();
       return;
     }
     // Memtable full AND a flush is still running: writers are delayed —
     // the very effect Figures 3/4 measure as memory grows.
-    room_cv_.wait_for(db, std::chrono::milliseconds(1));
+    room_cv_.WaitFor(db_mu_, std::chrono::milliseconds(1));
   }
+  db_mu_.unlock();
 }
 
 void BaselineStore::AdvanceCommitted(uint64_t seq) {
@@ -145,17 +152,25 @@ Status BaselineStore::WriteSingleWriter(const Slice& key, const Slice& value, Va
   w.value = value;
   w.type = type;
 
-  std::unique_lock<std::mutex> lock(writers_mu_);
+  // Explicit lock()/unlock() pairing (not MutexLock): the leader drops
+  // writers_mu_ mid-scope to apply the group, and the analysis checks
+  // the manual pairing on every branch.
+  writers_mu_.lock();
   writers_.push_back(&w);
-  writers_cv_.wait(lock, [&] { return w.done || writers_.front() == &w; });
+  while (!w.done && writers_.front() != &w) {
+    writers_cv_.Wait(writers_mu_);
+  }
   if (w.done) {
-    return w.status;  // a leader already applied our write
+    // A leader already applied our write; `w` is ours alone again, safe
+    // to read unlocked.
+    writers_mu_.unlock();
+    return w.status;
   }
 
   // We are the leader: collect a group and apply it sequentially.
   const size_t group_size = std::min(writers_.size(), options_.write_group_max);
   std::vector<Writer*> group(writers_.begin(), writers_.begin() + group_size);
-  lock.unlock();
+  writers_mu_.unlock();
 
   EnsureRoom();
   uint64_t last_seq = 0;
@@ -170,14 +185,14 @@ Status BaselineStore::WriteSingleWriter(const Slice& key, const Slice& value, Va
   }
   AdvanceCommitted(last_seq);
 
-  lock.lock();
+  writers_mu_.lock();
   for (size_t i = 0; i < group.size(); ++i) {
     writers_.pop_front();
     group[i]->done = true;
     group[i]->status = Status::OK();
   }
-  lock.unlock();
-  writers_cv_.notify_all();
+  writers_mu_.unlock();
+  writers_cv_.SignalAll();
   return Status::OK();
 }
 
@@ -186,7 +201,7 @@ Status BaselineStore::WriteHyper(const Slice& key, const Slice& value, ValueType
   uint64_t seq;
   {
     // Global mutex at the start of the operation (version assignment).
-    std::lock_guard<std::mutex> db(db_mu_);
+    MutexLock db(db_mu_);
     seq = seq_.fetch_add(1, std::memory_order_acq_rel);
   }
   {
@@ -196,7 +211,7 @@ Status BaselineStore::WriteHyper(const Slice& key, const Slice& value, ValueType
   PublishInOrder(seq);
   {
     // Global mutex at the end of the operation.
-    std::lock_guard<std::mutex> db(db_mu_);
+    MutexLock db(db_mu_);
   }
   return Status::OK();
 }
@@ -206,7 +221,7 @@ Status BaselineStore::WriteClsm(const Slice& key, const Slice& value, ValueType 
     uint64_t seq = 0;
     bool inserted = false;
     {
-      std::shared_lock<std::shared_mutex> shared(clsm_mu_);
+      ReaderMutexLock shared(clsm_mu_);
       RcuReadGuard guard(rcu_);
       BaselineMemTable* mem = mem_.load(std::memory_order_seq_cst);
       if (!mem->OverTarget()) {
@@ -227,16 +242,23 @@ Status BaselineStore::Get(const ReadOptions& options, const Slice& key, std::str
   if (options.fill_stats) {
     gets_.fetch_add(1, std::memory_order_relaxed);
   }
+  // The cLSM shared lock is conditional, which the analysis cannot track
+  // through one scope — so the body lives in GetImpl and the lock wraps
+  // the call where it is taken at all.
+  if (options_.concurrency == Concurrency::kCLSM) {
+    ReaderMutexLock clsm_shared(clsm_mu_);
+    return GetImpl(options, key, value);
+  }
+  return GetImpl(options, key, value);
+}
 
+Status BaselineStore::GetImpl(const ReadOptions& options, const Slice& key, std::string* value) {
+  (void)options;
   const bool global_lock_reads = options_.concurrency == Concurrency::kLevelDB ||
                                  options_.concurrency == Concurrency::kHyperLevelDB;
-  std::shared_lock<std::shared_mutex> clsm_shared(clsm_mu_, std::defer_lock);
-  if (options_.concurrency == Concurrency::kCLSM) {
-    clsm_shared.lock();
-  }
   if (global_lock_reads) {
     // Critical section #1: reference the memory components / metadata.
-    std::lock_guard<std::mutex> db(db_mu_);
+    MutexLock db(db_mu_);
   }
 
   ValueType type = ValueType::kValue;
@@ -266,7 +288,7 @@ Status BaselineStore::Get(const ReadOptions& options, const Slice& key, std::str
 
   if (global_lock_reads) {
     // Critical section #2: drop references (LevelDB's unref pattern).
-    std::lock_guard<std::mutex> db(db_mu_);
+    MutexLock db(db_mu_);
   }
   return result;
 }
@@ -278,15 +300,22 @@ Status BaselineStore::Scan(const ReadOptions& options, const Slice& low_key,
     scans_.fetch_add(1, std::memory_order_relaxed);
   }
   out->clear();
+  // Same conditional-lock split as Get/GetImpl.
+  if (options_.concurrency == Concurrency::kCLSM) {
+    ReaderMutexLock clsm_shared(clsm_mu_);
+    return ScanImpl(options, low_key, high_key, limit, out);
+  }
+  return ScanImpl(options, low_key, high_key, limit, out);
+}
 
+Status BaselineStore::ScanImpl(const ReadOptions& options, const Slice& low_key,
+                               const Slice& high_key, size_t limit,
+                               std::vector<std::pair<std::string, std::string>>* out) {
+  (void)options;
   const bool global_lock_reads = options_.concurrency == Concurrency::kLevelDB ||
                                  options_.concurrency == Concurrency::kHyperLevelDB;
-  std::shared_lock<std::shared_mutex> clsm_shared(clsm_mu_, std::defer_lock);
-  if (options_.concurrency == Concurrency::kCLSM) {
-    clsm_shared.lock();
-  }
   if (global_lock_reads) {
-    std::lock_guard<std::mutex> db(db_mu_);
+    MutexLock db(db_mu_);
   }
 
   // Multi-versioning gives baselines point-in-time scans for free: pick a
@@ -331,7 +360,7 @@ Status BaselineStore::Scan(const ReadOptions& options, const Slice& low_key,
   }
 
   if (global_lock_reads) {
-    std::lock_guard<std::mutex> db(db_mu_);
+    MutexLock db(db_mu_);
   }
   return Status::OK();
 }
@@ -351,8 +380,9 @@ void BaselineStore::FlushLoop() {
   while (true) {
     BaselineMemTable* imm;
     {
-      std::unique_lock<std::mutex> lock(flush_mu_);
-      flush_cv_.wait(lock, [&] {
+      MutexLock lock(flush_mu_);
+      // The predicate reads only atomics, so a lambda is fine here.
+      flush_cv_.Await(flush_mu_, [&] {
         return stop_.load(std::memory_order_relaxed) ||
                imm_.load(std::memory_order_seq_cst) != nullptr;
       });
@@ -376,7 +406,7 @@ void BaselineStore::FlushLoop() {
     imm_.store(nullptr, std::memory_order_seq_cst);
     rcu_.Synchronize();  // readers may still hold the pointer
     delete imm;
-    room_cv_.notify_all();
+    room_cv_.SignalAll();
   }
 }
 
@@ -384,7 +414,7 @@ Status BaselineStore::FlushAll() {
   while (true) {
     bool empty;
     {
-      std::unique_lock<std::mutex> db(db_mu_);
+      MutexLock db(db_mu_);
       BaselineMemTable* mem = mem_.load(std::memory_order_seq_cst);
       if (mem->Count() > 0 && imm_.load(std::memory_order_seq_cst) == nullptr) {
         SwapMemtableLocked();

@@ -26,16 +26,14 @@
 #define FLODB_BASELINES_BASELINE_STORE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "flodb/baselines/baseline_memtable.h"
+#include "flodb/common/synchronization.h"
 #include "flodb/core/kv_store.h"
 #include "flodb/disk/disk_component.h"
 #include "flodb/sync/rcu.h"
@@ -72,9 +70,11 @@ class BaselineStore final : public KVStore {
   // baselines carry no WAL. ReadOptions::snapshot_mode is ignored: the
   // multi-versioned memtable gives every scan a snapshot for free.
   Status Write(const WriteOptions& options, WriteBatch* batch) override;
-  Status Get(const ReadOptions& options, const Slice& key, std::string* value) override;
+  Status Get(const ReadOptions& options, const Slice& key, std::string* value) override
+      EXCLUDES(clsm_mu_);
   Status Scan(const ReadOptions& options, const Slice& low_key, const Slice& high_key,
-              size_t limit, std::vector<std::pair<std::string, std::string>>* out) override;
+              size_t limit, std::vector<std::pair<std::string, std::string>>* out) override
+      EXCLUDES(clsm_mu_);
   std::unique_ptr<ScanIterator> NewScanIterator(const ReadOptions& options, const Slice& low_key,
                                                 const Slice& high_key) override;
   Status FlushAll() override;
@@ -95,14 +95,23 @@ class BaselineStore final : public KVStore {
   explicit BaselineStore(const BaselineOptions& options);
 
   Status Update(const Slice& key, const Slice& value, ValueType type);
-  Status WriteSingleWriter(const Slice& key, const Slice& value, ValueType type);
-  Status WriteHyper(const Slice& key, const Slice& value, ValueType type);
-  Status WriteClsm(const Slice& key, const Slice& value, ValueType type);
+  Status WriteSingleWriter(const Slice& key, const Slice& value, ValueType type)
+      EXCLUDES(writers_mu_);
+  Status WriteHyper(const Slice& key, const Slice& value, ValueType type) EXCLUDES(db_mu_);
+  Status WriteClsm(const Slice& key, const Slice& value, ValueType type) EXCLUDES(clsm_mu_);
+
+  // The bodies of Get/Scan minus the cLSM shared lock, so the lock can be
+  // taken (or not) in a scope the analysis can follow.
+  Status GetImpl(const ReadOptions& options, const Slice& key, std::string* value)
+      EXCLUDES(db_mu_);
+  Status ScanImpl(const ReadOptions& options, const Slice& low_key, const Slice& high_key,
+                  size_t limit, std::vector<std::pair<std::string, std::string>>* out)
+      EXCLUDES(db_mu_);
 
   // Blocks until the active memtable has room; swaps in a new one (and
   // hands the full one to the flush thread) when needed.
-  void EnsureRoom();
-  void SwapMemtableLocked();  // REQUIRES db_mu_; imm slot must be free
+  void EnsureRoom() EXCLUDES(db_mu_, clsm_mu_);
+  void SwapMemtableLocked() REQUIRES(db_mu_);  // imm slot must be free
   void AdvanceCommitted(uint64_t seq);
   void PublishInOrder(uint64_t seq);
 
@@ -122,17 +131,22 @@ class BaselineStore final : public KVStore {
   std::atomic<uint64_t> seq_{1};
   std::atomic<uint64_t> committed_seq_{0};
 
-  std::mutex db_mu_;                // the global mutex of LevelDB/Hyper
-  std::condition_variable room_cv_;  // imm slot freed
-  std::shared_mutex clsm_mu_;       // cLSM's shared-exclusive lock
+  // The global mutex of LevelDB/Hyper. Deliberately a pure critical-
+  // section lock: the state it serializes (mem_/imm_) is atomic for the
+  // lock-free designs, so nothing is GUARDED_BY it.
+  Mutex db_mu_;
+  CondVar room_cv_;     // imm slot freed
+  SharedMutex clsm_mu_;  // cLSM's shared-exclusive lock
 
-  std::mutex writers_mu_;
-  std::condition_variable writers_cv_;
-  std::deque<Writer*> writers_;
+  Mutex writers_mu_;
+  CondVar writers_cv_;
+  std::deque<Writer*> writers_ GUARDED_BY(writers_mu_);
 
   std::thread flush_thread_;
-  std::mutex flush_mu_;
-  std::condition_variable flush_cv_;
+  // flush_cv_'s predicates read only atomics (stop_, imm_); nothing is
+  // guarded by flush_mu_.
+  Mutex flush_mu_;
+  CondVar flush_cv_;
   std::atomic<bool> stop_{false};
 
   mutable std::atomic<uint64_t> puts_{0}, gets_{0}, deletes_{0}, scans_{0};

@@ -2,11 +2,11 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "flodb/common/hash.h"
 #include "flodb/common/key_codec.h"
+#include "flodb/common/synchronization.h"
 
 namespace flodb::bench {
 
@@ -17,11 +17,11 @@ namespace {
 // would deflate zipfian throughput columns relative to uniform ones at
 // large key spaces.
 double Zeta(uint64_t n, double theta) {
-  static std::mutex mu;
+  static Mutex mu;
   static std::map<std::pair<uint64_t, double>, double> memo;
   const std::pair<uint64_t, double> key(n, theta);
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     auto it = memo.find(key);
     if (it != memo.end()) {
       return it->second;
@@ -31,7 +31,7 @@ double Zeta(uint64_t n, double theta) {
   for (uint64_t i = 1; i <= n; ++i) {
     sum += 1.0 / std::pow(static_cast<double>(i), theta);
   }
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   memo.emplace(key, sum);
   return sum;
 }

@@ -46,7 +46,7 @@ char* ConcurrentArena::Allocate(size_t n) {
 }
 
 char* ConcurrentArena::AllocateSlow(size_t n) {
-  std::lock_guard<std::mutex> lock(blocks_mu_);
+  MutexLock lock(blocks_mu_);
   // Re-check: another thread may have installed a fresh block already.
   {
     char* blk = cur_block_.load(std::memory_order_acquire);

@@ -12,8 +12,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "flodb/common/synchronization.h"
 
 namespace flodb {
 
@@ -51,8 +52,8 @@ class ConcurrentArena {
   std::atomic<size_t> cur_offset_{0};
   std::atomic<size_t> cur_size_{0};
 
-  std::mutex blocks_mu_;
-  std::vector<Block> blocks_;
+  Mutex blocks_mu_;
+  std::vector<Block> blocks_ GUARDED_BY(blocks_mu_);
 
   std::atomic<size_t> allocated_{0};
   std::atomic<size_t> reserved_{0};

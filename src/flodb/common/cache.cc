@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "flodb/common/hash.h"
+#include "flodb/common/synchronization.h"
 
 namespace flodb {
 
@@ -42,16 +43,17 @@ struct TransparentStringHash {
 
 struct ShardedLruCache::Shard {
   mutable SpinLock mu;
-  size_t capacity = 0;
-  size_t usage = 0;         // charge of resident entries
-  size_t pinned_usage = 0;  // charge of entries with outstanding handles
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  std::unordered_map<std::string, LRUHandle*, TransparentStringHash, std::equal_to<>> table;
+  size_t capacity = 0;  // set once at construction, read-only afterwards
+  size_t usage GUARDED_BY(mu) = 0;         // charge of resident entries
+  size_t pinned_usage GUARDED_BY(mu) = 0;  // charge of entries with outstanding handles
+  uint64_t hits GUARDED_BY(mu) = 0;
+  uint64_t misses GUARDED_BY(mu) = 0;
+  uint64_t evictions GUARDED_BY(mu) = 0;
+  std::unordered_map<std::string, LRUHandle*, TransparentStringHash, std::equal_to<>> table
+      GUARDED_BY(mu);
   // Dummy heads of the circular lists.
-  LRUHandle lru;
-  LRUHandle in_use;
+  LRUHandle lru GUARDED_BY(mu);
+  LRUHandle in_use GUARDED_BY(mu);
 
   Shard() {
     lru.next = &lru;
@@ -77,8 +79,8 @@ struct ShardedLruCache::Shard {
 
   // Detaches `e` from the table's perspective (list + residency charge)
   // and drops the cache's own reference. Appends to `garbage` if that was
-  // the last reference. REQUIRES: mu held, e->in_cache.
-  void FinishErase(LRUHandle* e, std::vector<LRUHandle*>* garbage) {
+  // the last reference. REQUIRES: e->in_cache.
+  void FinishErase(LRUHandle* e, std::vector<LRUHandle*>* garbage) REQUIRES(mu) {
     assert(e->in_cache);
     ListRemove(e);
     e->in_cache = false;
@@ -88,8 +90,8 @@ struct ShardedLruCache::Shard {
     }
   }
 
-  // Evicts oldest unpinned entries until usage fits. REQUIRES: mu held.
-  void EvictLocked(std::vector<LRUHandle*>* garbage) {
+  // Evicts oldest unpinned entries until usage fits.
+  void EvictLocked(std::vector<LRUHandle*>* garbage) REQUIRES(mu) {
     while (usage > capacity && lru.next != &lru) {
       LRUHandle* oldest = lru.next;
       table.erase(oldest->key);
@@ -176,7 +178,7 @@ ShardedLruCache::Handle* ShardedLruCache::Insert(const Slice& key, void* value, 
     // never retain it. pinned_usage still tracks it so "bytes pinned by
     // in-flight readers" stays observable with the cache disabled.
     Shard& shard = shards_[ShardOf(key)];
-    SpinLockGuard guard(shard.mu);
+    SpinLockHolder guard(shard.mu);
     shard.pinned_usage += charge;
     return reinterpret_cast<Handle*>(e);
   }
@@ -184,7 +186,7 @@ ShardedLruCache::Handle* ShardedLruCache::Insert(const Slice& key, void* value, 
   std::vector<LRUHandle*> garbage;
   Shard& shard = shards_[ShardOf(key)];
   {
-    SpinLockGuard guard(shard.mu);
+    SpinLockHolder guard(shard.mu);
     e->refs++;  // the cache's reference
     e->in_cache = true;
     shard.usage += charge;
@@ -205,7 +207,7 @@ ShardedLruCache::Handle* ShardedLruCache::Insert(const Slice& key, void* value, 
 
 ShardedLruCache::Handle* ShardedLruCache::Lookup(const Slice& key) {
   Shard& shard = shards_[ShardOf(key)];
-  SpinLockGuard guard(shard.mu);
+  SpinLockHolder guard(shard.mu);
   auto it = shard.table.find(std::string_view(key.data(), key.size()));
   if (it == shard.table.end()) {
     ++shard.misses;
@@ -232,7 +234,7 @@ void ShardedLruCache::Release(Handle* handle) {
   Shard& shard = shards_[ShardOf(Slice(e->key))];
   std::vector<LRUHandle*> garbage;
   {
-    SpinLockGuard guard(shard.mu);
+    SpinLockHolder guard(shard.mu);
     assert(e->refs > 0);
     e->refs--;
     if (e->refs == 0) {
@@ -257,7 +259,7 @@ void ShardedLruCache::Erase(const Slice& key) {
   Shard& shard = shards_[ShardOf(key)];
   std::vector<LRUHandle*> garbage;
   {
-    SpinLockGuard guard(shard.mu);
+    SpinLockHolder guard(shard.mu);
     auto it = shard.table.find(std::string_view(key.data(), key.size()));
     if (it == shard.table.end()) {
       return;
@@ -272,8 +274,9 @@ void ShardedLruCache::Erase(const Slice& key) {
 size_t ShardedLruCache::TotalCharge() const {
   size_t total = 0;
   for (int i = 0; i < num_shards_; ++i) {
-    SpinLockGuard guard(shards_[i].mu);
-    total += shards_[i].usage;
+    Shard& shard = shards_[i];
+    SpinLockHolder guard(shard.mu);
+    total += shard.usage;
   }
   return total;
 }
@@ -281,27 +284,30 @@ size_t ShardedLruCache::TotalCharge() const {
 size_t ShardedLruCache::TotalEntries() const {
   size_t total = 0;
   for (int i = 0; i < num_shards_; ++i) {
-    SpinLockGuard guard(shards_[i].mu);
-    total += shards_[i].table.size();
+    Shard& shard = shards_[i];
+    SpinLockHolder guard(shard.mu);
+    total += shard.table.size();
   }
   return total;
 }
 
 size_t ShardedLruCache::ShardCharge(size_t shard) const {
-  SpinLockGuard guard(shards_[shard].mu);
-  return shards_[shard].usage;
+  Shard& s = shards_[shard];
+  SpinLockHolder guard(s.mu);
+  return s.usage;
 }
 
 ShardedLruCache::Stats ShardedLruCache::GetStats() const {
   Stats stats;
   for (int i = 0; i < num_shards_; ++i) {
-    SpinLockGuard guard(shards_[i].mu);
-    stats.hits += shards_[i].hits;
-    stats.misses += shards_[i].misses;
-    stats.evictions += shards_[i].evictions;
-    stats.charge += shards_[i].usage;
-    stats.pinned_charge += shards_[i].pinned_usage;
-    stats.entries += shards_[i].table.size();
+    Shard& shard = shards_[i];
+    SpinLockHolder guard(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.charge += shard.usage;
+    stats.pinned_charge += shard.pinned_usage;
+    stats.entries += shard.table.size();
   }
   return stats;
 }

@@ -27,7 +27,6 @@
 #include <unordered_map>
 
 #include "flodb/common/slice.h"
-#include "flodb/sync/spinlock.h"
 
 namespace flodb {
 

@@ -1,0 +1,382 @@
+// Capability-annotated synchronization primitives (Clang Thread Safety
+// Analysis, DESIGN.md §14).
+//
+// Every lock in the store is one of the wrappers below, every field a lock
+// protects carries GUARDED_BY, and every helper that assumes a caller-held
+// lock carries REQUIRES — so the lock discipline that used to live in prose
+// is rechecked by the compiler on every build. Under Clang with
+// -Wthread-safety the annotations are enforced (the lint-thread-safety CI
+// job builds with -Werror=thread-safety); under GCC and other compilers
+// they expand to nothing and the wrappers are zero-cost veneers over the
+// std primitives.
+//
+// Runtime backstop: in debug builds (!NDEBUG) Mutex/SharedMutex/SpinLock
+// track their holder thread, so AssertHeld() aborts when the static
+// analysis was bypassed (e.g. through a NO_THREAD_SAFETY_ANALYSIS escape
+// hatch) and the invariant still does not hold dynamically. In release
+// builds AssertHeld() compiles to the static assertion only.
+//
+// Usage conventions (see DESIGN.md §14 for the full lock table):
+//   - Scoped holds use MutexLock / ReaderMutexLock / SpinLockHolder.
+//   - Flows that must release mid-scope (the WAL group-commit leader, the
+//     compaction limiter) call lock()/unlock() directly; the analysis
+//     checks the pairing per-branch.
+//   - CondVar is external-mutex style: Wait(mu) REQUIRES(mu), so the
+//     analysis verifies waiters hold the right lock at every wait site.
+
+#ifndef FLODB_COMMON_SYNCHRONIZATION_H_
+#define FLODB_COMMON_SYNCHRONIZATION_H_
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "flodb/sync/backoff.h"
+
+// ---------------------------------------------------------------------------
+// Thread safety analysis macros (LLVM thread-safety-analysis docs' mutex.h
+// mold). No-ops unless compiling with Clang and the capability attributes
+// are available.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FLODB_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FLODB_THREAD_ANNOTATION
+#define FLODB_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) FLODB_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY FLODB_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) FLODB_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) FLODB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) FLODB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) FLODB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) FLODB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) FLODB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) FLODB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) FLODB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) FLODB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) FLODB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) FLODB_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) FLODB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) FLODB_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) FLODB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) FLODB_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) FLODB_THREAD_ANNOTATION(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) FLODB_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS FLODB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace flodb {
+
+// Debug-build holder tracking shared by the lock wrappers. Thread ids are
+// stored relaxed: the lock's own acquire/release ordering already makes the
+// store by the holder visible to the next holder, and AssertHeld only
+// compares against the *calling* thread's id (a self-store it trivially
+// observes), so no stronger ordering is needed.
+#ifndef NDEBUG
+#define FLODB_SYNC_DEBUG_HOLDER 1
+#endif
+
+// An exclusive mutex carrying the "mutex" capability. API mirrors
+// std::mutex (lock/unlock/try_lock) so std adapters still work mechanically,
+// but annotated code should hold it via MutexLock or explicit
+// lock()/unlock() pairs — std::unique_lock is invisible to the analysis.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+    DebugSetHolder();
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    DebugSetHolder();
+    return true;
+  }
+
+  void unlock() RELEASE() {
+    DebugClearHolder();
+    mu_.unlock();
+  }
+
+  // Dynamic backstop for the static analysis: tells the analyzer the lock
+  // is held from here on, and (debug builds) aborts if it is not.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    assert(holder_.load(std::memory_order_relaxed) == std::this_thread::get_id() &&
+           "Mutex::AssertHeld: calling thread does not hold the lock");
+#endif
+  }
+
+ private:
+  friend class CondVar;
+
+  void DebugSetHolder() {
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+  void DebugClearHolder() {
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    assert(holder_.load(std::memory_order_relaxed) == std::this_thread::get_id() &&
+           "Mutex::unlock: calling thread does not hold the lock");
+    holder_.store(std::thread::id(), std::memory_order_relaxed);
+#endif
+  }
+
+  std::mutex mu_;
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+  std::atomic<std::thread::id> holder_{};
+#endif
+};
+
+// A reader/writer mutex. Exclusive holds are tracked like Mutex; shared
+// holds are tracked as a count (any-reader, not per-thread — good enough to
+// catch "nobody holds this at all" in debug builds).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+
+  void unlock() RELEASE() {
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    assert(holder_.load(std::memory_order_relaxed) == std::this_thread::get_id() &&
+           "SharedMutex::unlock: calling thread does not hold the lock");
+    holder_.store(std::thread::id(), std::memory_order_relaxed);
+#endif
+    mu_.unlock();
+  }
+
+  void lock_shared() ACQUIRE_SHARED() {
+    mu_.lock_shared();
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    readers_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  }
+
+  void unlock_shared() RELEASE_SHARED() {
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    assert(readers_.fetch_sub(1, std::memory_order_relaxed) > 0 &&
+           "SharedMutex::unlock_shared: no shared hold outstanding");
+#endif
+    mu_.unlock_shared();
+  }
+
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    assert(holder_.load(std::memory_order_relaxed) == std::this_thread::get_id() &&
+           "SharedMutex::AssertHeld: calling thread does not hold the lock exclusively");
+#endif
+  }
+
+  // Any-reader assertion: some thread (possibly this one) holds a shared or
+  // exclusive lock. Cannot prove THIS thread is a reader without per-thread
+  // bookkeeping, so it is deliberately the weaker check.
+  void AssertReaderHeld() const ASSERT_SHARED_CAPABILITY(this) {
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    assert((readers_.load(std::memory_order_relaxed) > 0 ||
+            holder_.load(std::memory_order_relaxed) == std::this_thread::get_id()) &&
+           "SharedMutex::AssertReaderHeld: lock not held in any mode");
+#endif
+  }
+
+ private:
+  std::shared_mutex mu_;
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+  std::atomic<std::thread::id> holder_{};
+  std::atomic<int> readers_{0};
+#endif
+};
+
+// Tiny test-and-test-and-set spinlock with exponential backoff (absorbed
+// from sync/spinlock.h). Used for per-bucket locking in the Membuffer and
+// the cache shards, where critical sections are a handful of loads/stores;
+// a futex-based mutex would dominate the cost.
+class CAPABILITY("spinlock") SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() ACQUIRE() {
+    Backoff backoff;
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        DebugSetHolder();
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+        backoff.Pause();
+      }
+    }
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (locked_.exchange(true, std::memory_order_acquire)) return false;
+    DebugSetHolder();
+    return true;
+  }
+
+  void unlock() RELEASE() {
+    DebugClearHolder();
+    locked_.store(false, std::memory_order_release);
+  }
+
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    assert(holder_.load(std::memory_order_relaxed) == std::this_thread::get_id() &&
+           "SpinLock::AssertHeld: calling thread does not hold the lock");
+#endif
+  }
+
+ private:
+  void DebugSetHolder() {
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+  void DebugClearHolder() {
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+    assert(holder_.load(std::memory_order_relaxed) == std::this_thread::get_id() &&
+           "SpinLock::unlock: calling thread does not hold the lock");
+    holder_.store(std::thread::id(), std::memory_order_relaxed);
+#endif
+  }
+
+  std::atomic<bool> locked_{false};
+#ifdef FLODB_SYNC_DEBUG_HOLDER
+  std::atomic<std::thread::id> holder_{};
+#endif
+};
+
+// RAII exclusive hold on a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// RAII exclusive hold on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriterMutexLock() RELEASE() { mu_.unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII shared hold on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) { mu_.lock_shared(); }
+  ~ReaderMutexLock() RELEASE() { mu_.unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII hold on a SpinLock.
+class SCOPED_CAPABILITY SpinLockHolder {
+ public:
+  explicit SpinLockHolder(SpinLock& lock) ACQUIRE(lock) : lock_(lock) { lock_.lock(); }
+  ~SpinLockHolder() RELEASE() { lock_.unlock(); }
+  SpinLockHolder(const SpinLockHolder&) = delete;
+  SpinLockHolder& operator=(const SpinLockHolder&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+// External-mutex condition variable: the mutex is named at every wait site
+// (Wait(mu) REQUIRES(mu)), so the analysis checks that waiters hold the
+// lock the predicate is guarded by. Built on condition_variable_any; the
+// wait path re-enters Mutex::lock/unlock, so debug holder tracking stays
+// correct across the block.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    // Escape hatch invariant: wait() releases `mu` for the duration of the
+    // block and reacquires before returning, so the caller-visible "held on
+    // entry, held on exit" contract (REQUIRES) is preserved; the analysis
+    // cannot see through condition_variable_any's internals.
+    cv_.wait(mu);
+  }
+
+  template <typename Predicate>
+  void Await(Mutex& mu, Predicate pred) REQUIRES(mu) {
+    while (!pred()) {
+      Wait(mu);
+    }
+  }
+
+  // Returns false on timeout (like condition_variable::wait_for's
+  // cv_status::timeout), true if woken by a notify before the deadline.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout) REQUIRES(mu)
+      NO_THREAD_SAFETY_ANALYSIS {
+    // Same invariant as Wait: held on entry, held on exit.
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
+
+  // Returns the predicate's value at exit: true means the condition held
+  // (possibly just before the deadline), false means it timed out.
+  template <typename Rep, typename Period, typename Predicate>
+  bool AwaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout, Predicate pred)
+      REQUIRES(mu) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      if (WaitUntil(mu, deadline)) return pred();
+    }
+    return true;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  // Returns true when the deadline passed.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline) REQUIRES(mu)
+      NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(mu, deadline) == std::cv_status::timeout;
+  }
+
+  std::condition_variable_any cv_;
+};
+
+}  // namespace flodb
+
+#endif  // FLODB_COMMON_SYNCHRONIZATION_H_

@@ -159,8 +159,8 @@ void FloDB::WaitForMemtableHeadroom() {
     TriggerPersist();
     // Timed wait, not a spin: during a persist outage (AddRun retrying
     // on backoff) stalled writers would otherwise peg their cores.
-    std::unique_lock<std::mutex> lock(persist_mu_);
-    persist_done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    MutexLock lock(persist_mu_);
+    persist_done_cv_.WaitFor(persist_mu_, std::chrono::milliseconds(1));
   }
 }
 
@@ -468,11 +468,19 @@ Status FloDB::WalCommit(const WriteOptions& options, WriteBatch* batch, int* tok
     me.sync = true;
   }
 
-  std::unique_lock<std::mutex> lock(wal_mu_);
+  // Explicit lock()/unlock() pairing (not MutexLock): the leader drops
+  // wal_mu_ mid-scope for the Append+Sync phase, and the analysis checks
+  // the manual pairing on every branch.
+  wal_mu_.lock();
   wal_queue_.push_back(&me);
-  wal_cv_.wait(lock, [&] { return me.done || wal_queue_.front() == &me; });
+  while (!me.done && wal_queue_.front() != &me) {
+    wal_cv_.Wait(wal_mu_);
+  }
   if (me.done) {
-    // A leader committed this batch as part of its group.
+    // A leader committed this batch as part of its group. `me` is ours
+    // alone again (the leader erased it from the queue before setting
+    // done under wal_mu_), so its fields are safe to read unlocked.
+    wal_mu_.unlock();
     *token_slot = me.token_slot;
     return me.status;
   }
@@ -503,7 +511,7 @@ Status FloDB::WalCommit(const WriteOptions& options, WriteBatch* batch, int* tok
     // from under us; the queue front keeps new arrivals followers.
     WalWriter* wal = wal_.get();
     wal_leader_busy_ = true;
-    lock.unlock();
+    wal_mu_.unlock();
     for (WalWaiter* w : group) {
       Status s = w->prepare ? wal->AddPrepare(w->txn_id, w->participants, w->count, w->rep)
                             : wal->AddBatch(w->count, w->rep);
@@ -528,7 +536,7 @@ Status FloDB::WalCommit(const WriteOptions& options, WriteBatch* batch, int* tok
         sync_error = wal->Sync();
       }
     }
-    lock.lock();
+    wal_mu_.lock();
     wal_leader_busy_ = false;
   }
   if (!append_error.ok() || !sync_error.ok()) {
@@ -578,9 +586,9 @@ Status FloDB::WalCommit(const WriteOptions& options, WriteBatch* batch, int* tok
     group_commit_writers_.fetch_add(committed, std::memory_order_relaxed);
   }
   wal_queue_.erase(wal_queue_.begin(), wal_queue_.begin() + static_cast<ptrdiff_t>(group_size));
-  lock.unlock();
+  wal_mu_.unlock();
   // Wake the group's followers and the next leader.
-  wal_cv_.notify_all();
+  wal_cv_.SignalAll();
   *token_slot = me.token_slot;
   return me.status;
 }
@@ -647,7 +655,7 @@ Status FloDB::Get(const ReadOptions& options, const Slice& key, std::string* val
 Status FloDB::FlushAll() {
   // 1. Move everything from the Membuffer into the Memtable.
   if (options_.enable_membuffer) {
-    std::lock_guard<std::mutex> master(master_mu_);
+    MutexLock master(master_mu_);
     pause_draining_.store(true, std::memory_order_seq_cst);
     pause_writers_.store(true, std::memory_order_seq_cst);
     MemBuffer* old = SwapAndDrainMembufferLocked();
@@ -672,8 +680,8 @@ Status FloDB::FlushAll() {
     }
     force_persist_.store(true, std::memory_order_seq_cst);
     TriggerPersist();
-    std::unique_lock<std::mutex> lock(persist_mu_);
-    persist_done_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    MutexLock lock(persist_mu_);
+    persist_done_cv_.WaitFor(persist_mu_, std::chrono::milliseconds(10));
   }
   force_persist_.store(false, std::memory_order_seq_cst);
 
@@ -712,7 +720,7 @@ Status FloDB::CompactValueLogGarbage(bool* performed, std::vector<uint64_t>* vic
   // each table once instead of once per victim.
   std::vector<uint64_t> victims;
   {
-    std::lock_guard<std::mutex> lock(vlog_gc_mu_);
+    MutexLock lock(vlog_gc_mu_);
     if (!disk_->PickVlogGcVictims(&victims, &vlog_gc_quarantined_)) {
       return Status::OK();
     }
@@ -791,7 +799,7 @@ StoreStats FloDB::GetStats() const {
   stats.orphaned_prepares = orphaned_prepares_.load(std::memory_order_relaxed);
   stats.vlog_gc_failures = vlog_gc_failed_rounds_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(vlog_gc_mu_);
+    MutexLock lock(vlog_gc_mu_);
     stats.vlog_gc_quarantined = vlog_gc_quarantined_.size();
   }
   if (disk_ != nullptr) {

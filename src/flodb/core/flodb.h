@@ -33,16 +33,15 @@
 #define FLODB_CORE_FLODB_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "flodb/common/synchronization.h"
 #include "flodb/core/kv_store.h"
 #include "flodb/core/options.h"
 #include "flodb/disk/wal.h"
@@ -75,7 +74,7 @@ class FloDB final : public KVStore {
               size_t limit, std::vector<std::pair<std::string, std::string>>* out) override;
   std::unique_ptr<ScanIterator> NewScanIterator(const ReadOptions& options, const Slice& low_key,
                                                 const Slice& high_key) override;
-  Status FlushAll() override;
+  Status FlushAll() override EXCLUDES(master_mu_);
   Status CompactRange(const Slice& begin, const Slice& end) override;
   StoreStats GetStats() const override;
   std::string Name() const override { return "FloDB"; }
@@ -150,11 +149,11 @@ class FloDB final : public KVStore {
   // Master election / piggybacking / seq reuse (Algorithm 3 entry). For
   // masters this performs the Membuffer swap + full drain and publishes
   // the fresh seq for piggybackers.
-  ScanTicket BeginScan(SnapshotMode mode);
-  void EndScan(const ScanTicket& ticket);
+  ScanTicket BeginScan(SnapshotMode mode) EXCLUDES(scan_mu_);
+  void EndScan(const ScanTicket& ticket) EXCLUDES(scan_mu_);
   // Swap + drain + fresh seq + publish — master setup, also used for a
   // full master restart.
-  void EstablishMasterSeq(uint64_t* seq);
+  void EstablishMasterSeq(uint64_t* seq) EXCLUDES(master_mu_, scan_mu_);
   // A piggyback restart's fresh seq (no re-drain, §4.4).
   uint64_t FreshScanSeq() {
     return global_seq_.fetch_add(1, std::memory_order_acq_rel);
@@ -186,10 +185,12 @@ class FloDB final : public KVStore {
   // Swaps in a fresh Membuffer, synchronizes, and fully drains the old one
   // (with help from spilling writers). Returns the drained-out buffer,
   // still installed as imm_mbf_; nullptr when the Membuffer is disabled.
-  // REQUIRES: master_mu_ held and pause flags set by the caller.
-  MemBuffer* SwapAndDrainMembufferLocked();
+  // REQUIRES additionally: pause flags set by the caller.
+  MemBuffer* SwapAndDrainMembufferLocked() REQUIRES(master_mu_);
   // Uninstalls and reclaims the immutable Membuffer after a grace period.
-  void CleanupImmMembuffer(MemBuffer* old);
+  // master_mu_ keeps cleanup serialized against rotations and master scans
+  // (every caller is such a flow already).
+  void CleanupImmMembuffer(MemBuffer* old) REQUIRES(master_mu_);
   bool HelpDrainChunk(MemBuffer* imm);
 
   // ---- value separation (DESIGN.md §13) ----
@@ -232,7 +233,7 @@ class FloDB final : public KVStore {
   // participant set; prepares always sync (the router's commit marker
   // must never be durable ahead of a participant's prepare).
   Status WalCommit(const WriteOptions& options, WriteBatch* batch, int* token_slot,
-                   uint64_t txn_id = 0, const Slice& participants = Slice());
+                   uint64_t txn_id = 0, const Slice& participants = Slice()) EXCLUDES(wal_mu_);
 
   // Blocks while the Memtable is at its hard cap (2x target). Must run
   // BEFORE WalCommit: a writer holding an apply token must not block on
@@ -260,14 +261,14 @@ class FloDB final : public KVStore {
   // recovery, so the data is never visible.
   void AbandonPrepare(int token_slot);
 
-  // Opens wal-<number> as the live log. REQUIRES wal_mu_ held. On failure
-  // the WAL stays broken (wal_ null, wal_status_ set) and writes fail.
-  Status OpenWalLocked(uint64_t number);
+  // Opens wal-<number> as the live log. On failure the WAL stays broken
+  // (wal_ null, wal_status_ set) and writes fail.
+  Status OpenWalLocked(uint64_t number) REQUIRES(wal_mu_);
 
   // Cheap probe called from the background loops: if the WAL is broken
   // (failed rotation / failed append or sync), retire any half-dead
   // writer and try to open a fresh log.
-  void TryReopenWal();
+  void TryReopenWal() EXCLUDES(wal_mu_);
 
   Status RecoverFromWal();
   std::string WalFileName(uint64_t number) const;
@@ -297,23 +298,26 @@ class FloDB final : public KVStore {
   // buffer is destroyed.
   std::atomic<bool> imm_mbf_drain_ready_{false};
 
-  // Serializes master scans, rotations and fallback scans.
-  std::mutex master_mu_;
+  // Serializes master scans, rotations and fallback scans. A pure
+  // critical-section lock: the state it orders (component pointers, pause
+  // flags) is atomics published under RCU, so nothing is GUARDED_BY it.
+  Mutex master_mu_;
 
   // Scan coordination (piggybacking).
-  std::mutex scan_mu_;
-  std::condition_variable scan_cv_;
-  bool master_busy_ = false;
-  bool published_valid_ = false;
-  uint64_t published_seq_ = 0;
-  int chain_len_ = 0;
-  int reuse_count_ = 0;
-  int running_scans_ = 0;
+  Mutex scan_mu_;
+  CondVar scan_cv_;
+  bool master_busy_ GUARDED_BY(scan_mu_) = false;
+  bool published_valid_ GUARDED_BY(scan_mu_) = false;
+  uint64_t published_seq_ GUARDED_BY(scan_mu_) = 0;
+  int chain_len_ GUARDED_BY(scan_mu_) = 0;
+  int reuse_count_ GUARDED_BY(scan_mu_) = 0;
+  int running_scans_ GUARDED_BY(scan_mu_) = 0;
 
-  // Persist coordination.
-  std::mutex persist_mu_;
-  std::condition_variable persist_work_cv_;  // wakes the persist thread
-  std::condition_variable persist_done_cv_;  // signals swap completed
+  // Persist coordination. The cvs only block/wake; their predicates read
+  // atomics (force_persist_, imm_mtb_), so no fields are guarded here.
+  Mutex persist_mu_;
+  CondVar persist_work_cv_;  // wakes the persist thread
+  CondVar persist_done_cv_;  // signals swap completed
   std::atomic<bool> force_persist_{false};
 
   // WAL (only when options_.enable_wal). wal_mu_ protects the writer
@@ -323,15 +327,17 @@ class FloDB final : public KVStore {
   // The leader drops wal_mu_ for the Append+Sync phase (so followers can
   // keep enqueueing and form the next group behind a slow fsync) and
   // raises wal_leader_busy_ instead; rotation and repair wait it out.
-  std::mutex wal_mu_;
-  std::condition_variable wal_cv_;
-  std::deque<WalWaiter*> wal_queue_;
-  bool wal_leader_busy_ = false;
-  std::unique_ptr<WalWriter> wal_;
-  uint64_t wal_number_ = 0;
-  uint64_t wal_epoch_ = 0;  // rotations so far; parity picks the token slot
-  uint64_t last_wal_repair_nanos_ = 0;  // TryReopenWal churn backoff
-  Status wal_status_;       // non-OK: WAL broken, Write fails until repaired
+  Mutex wal_mu_;
+  CondVar wal_cv_;
+  std::deque<WalWaiter*> wal_queue_ GUARDED_BY(wal_mu_);
+  bool wal_leader_busy_ GUARDED_BY(wal_mu_) = false;
+  std::unique_ptr<WalWriter> wal_ GUARDED_BY(wal_mu_);
+  uint64_t wal_number_ GUARDED_BY(wal_mu_) = 0;
+  // Rotations so far; parity picks the token slot.
+  uint64_t wal_epoch_ GUARDED_BY(wal_mu_) = 0;
+  uint64_t last_wal_repair_nanos_ GUARDED_BY(wal_mu_) = 0;  // TryReopenWal churn backoff
+  // Non-OK: WAL broken, Write fails until repaired.
+  Status wal_status_ GUARDED_BY(wal_mu_);
   std::atomic<bool> wal_broken_{false};  // lock-free mirror for repair probes
 
   // Rotated-out logs whose generation has not persisted yet. At each
@@ -341,8 +347,11 @@ class FloDB final : public KVStore {
   // a broken WAL repaired by TryReopenWal — lands in retired_wals_ AFTER
   // the snapshot and therefore waits for the NEXT cycle, because its
   // records live in the still-unpersisted current Memtable.
-  std::vector<uint64_t> retired_wals_;
-  std::vector<uint64_t> pending_wal_deletes_;  // persist thread only
+  std::vector<uint64_t> retired_wals_ GUARDED_BY(wal_mu_);
+  // Thread-confined to the persist thread (moved out of retired_wals_
+  // under wal_mu_, then consumed between rotations) — deliberately not
+  // lock-guarded, so it carries no capability annotation.
+  std::vector<uint64_t> pending_wal_deletes_;
 
   // Writers that committed to the WAL but have not finished applying to
   // the memory component, by rotation-epoch parity. The persist thread
@@ -359,11 +368,12 @@ class FloDB final : public KVStore {
   // Vlog GC victims that failed kGcQuarantineThreshold consecutive
   // rounds (e.g. an unreadable record): skipped by the picker so a
   // permanently corrupt file cannot wedge the GC loop into hot-retrying
-  // WaitVlogUnpinned + FlushAll + a failing compaction forever. Guarded
-  // by vlog_gc_mu_; surfaced via the vlog_gc_quarantined stat.
-  mutable std::mutex vlog_gc_mu_;
-  std::set<uint64_t> vlog_gc_quarantined_;
-  std::map<uint64_t, int> vlog_gc_failures_;  // victim -> consecutive failures
+  // WaitVlogUnpinned + FlushAll + a failing compaction forever. Surfaced
+  // via the vlog_gc_quarantined stat.
+  mutable Mutex vlog_gc_mu_;
+  std::set<uint64_t> vlog_gc_quarantined_ GUARDED_BY(vlog_gc_mu_);
+  // victim -> consecutive failures
+  std::map<uint64_t, int> vlog_gc_failures_ GUARDED_BY(vlog_gc_mu_);
 
   // Stats.
   mutable std::atomic<uint64_t> puts_{0}, gets_{0}, deletes_{0}, scans_{0};

@@ -95,7 +95,7 @@ void FloDB::VlogGcLoop() {
       // the retry loop bounded.
       size_t newly_quarantined = 0;
       {
-        std::lock_guard<std::mutex> lock(vlog_gc_mu_);
+        MutexLock lock(vlog_gc_mu_);
         for (uint64_t victim : victims) {
           if (++vlog_gc_failures_[victim] >= kGcQuarantineAfter) {
             vlog_gc_quarantined_.insert(victim);
@@ -120,7 +120,7 @@ void FloDB::VlogGcLoop() {
     backoff = kGcIdleSleep;
     if (performed && !victims.empty()) {
       {
-        std::lock_guard<std::mutex> lock(vlog_gc_mu_);
+        MutexLock lock(vlog_gc_mu_);
         for (uint64_t victim : victims) {
           vlog_gc_failures_.erase(victim);
         }
@@ -141,7 +141,7 @@ void FloDB::VlogGcLoop() {
   }
 }
 
-void FloDB::TriggerPersist() { persist_work_cv_.notify_one(); }
+void FloDB::TriggerPersist() { persist_work_cv_.Signal(); }
 
 // Sorts, stamps sequence numbers, and inserts a collected batch into the
 // active Memtable — the step between "mark" and "remove" of the drain
@@ -202,8 +202,7 @@ void FloDB::DrainLoop() {
       pressure = mbf != nullptr && mbf->UnderMemoryPressure();
     }
     if (pressure) {
-      std::unique_lock<std::mutex> master(master_mu_, std::try_to_lock);
-      if (master.owns_lock()) {
+      if (master_mu_.try_lock()) {
         pause_draining_.store(true, std::memory_order_seq_cst);
         pause_writers_.store(true, std::memory_order_seq_cst);
         MemBuffer* old = SwapAndDrainMembufferLocked();
@@ -211,6 +210,7 @@ void FloDB::DrainLoop() {
         pause_draining_.store(false, std::memory_order_seq_cst);
         CleanupImmMembuffer(old);
         membuffer_rotations_.fetch_add(1, std::memory_order_relaxed);
+        master_mu_.unlock();
       }
       continue;
     }
@@ -318,8 +318,10 @@ void FloDB::CleanupImmMembuffer(MemBuffer* old) {
 void FloDB::PersistLoop() {
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(persist_mu_);
-      persist_work_cv_.wait(lock, [&] {
+      MutexLock lock(persist_mu_);
+      // The predicate reads only atomics, so the lambda needs no guarded
+      // state (Clang analyzes lambdas as unannotated functions).
+      persist_work_cv_.Await(persist_mu_, [&] {
         if (stop_.load(std::memory_order_relaxed)) {
           return true;
         }
@@ -346,10 +348,14 @@ void FloDB::PersistLoop() {
       //    Memtable and be lost when the old log is deleted.
       int drain_slot = -1;
       if (options_.enable_wal) {
-        std::unique_lock<std::mutex> lock(wal_mu_);
+        MutexLock lock(wal_mu_);
         // A group-commit leader may be mid-Append/Sync with wal_mu_
-        // dropped; swapping the log under it would tear the stream.
-        wal_cv_.wait(lock, [&] { return !wal_leader_busy_; });
+        // dropped; swapping the log under it would tear the stream. The
+        // wait loop is explicit: wal_leader_busy_ is guarded state, so it
+        // must be read in this (annotated) scope, not in a lambda.
+        while (wal_leader_busy_) {
+          wal_cv_.Wait(wal_mu_);
+        }
         if (wal_ != nullptr) {
           // Best-effort: an unsynced tail holds only sync=false acks,
           // which are allowed to be lost; AddRun below is what makes the
@@ -406,7 +412,7 @@ void FloDB::PersistLoop() {
       //    WAL-less mode skips this and keeps the paper's fully
       //    decoupled persist.
       if (options_.enable_wal && options_.enable_membuffer) {
-        std::lock_guard<std::mutex> master(master_mu_);
+        MutexLock master(master_mu_);
         pause_draining_.store(true, std::memory_order_seq_cst);
         pause_writers_.store(true, std::memory_order_seq_cst);
         MemBuffer* old_mbf = SwapAndDrainMembufferLocked();
@@ -420,7 +426,7 @@ void FloDB::PersistLoop() {
       old = mtb_.load(std::memory_order_seq_cst);
       imm_mtb_.store(old, std::memory_order_seq_cst);
       mtb_.store(NewMemTable(), std::memory_order_seq_cst);
-      persist_done_cv_.notify_all();
+      persist_done_cv_.SignalAll();
 
       // Grace period #1: all pending updates to `old` have completed
       // before we copy it to disk.
@@ -445,14 +451,14 @@ void FloDB::PersistLoop() {
       persist_failures_.fetch_add(1, std::memory_order_relaxed);
       fprintf(stderr, "flodb: persist failed (will retry; WAL retained): %s\n",
               persist_status.ToString().c_str());
-      std::unique_lock<std::mutex> lock(persist_mu_);
-      persist_work_cv_.wait_for(lock, std::chrono::milliseconds(10),
+      MutexLock lock(persist_mu_);
+      persist_work_cv_.AwaitFor(persist_mu_, std::chrono::milliseconds(10),
                                 [&] { return stop_.load(std::memory_order_relaxed); });
       continue;
     }
 
     imm_mtb_.store(nullptr, std::memory_order_seq_cst);
-    persist_done_cv_.notify_all();
+    persist_done_cv_.SignalAll();
 
     // Grace period #2: no reader still sees the immutable Memtable.
     rcu_.Synchronize();
@@ -490,8 +496,10 @@ void FloDB::TryReopenWal() {
   if (!options_.enable_wal || !wal_broken_.load(std::memory_order_acquire)) {
     return;
   }
-  std::unique_lock<std::mutex> lock(wal_mu_);
-  wal_cv_.wait(lock, [&] { return !wal_leader_busy_; });
+  MutexLock lock(wal_mu_);
+  while (wal_leader_busy_) {
+    wal_cv_.Wait(wal_mu_);
+  }
   if (!wal_broken_.load(std::memory_order_acquire)) {
     return;  // lost the race to another repairer
   }
@@ -602,7 +610,7 @@ Status FloDB::RecoverFromWal() {
     env->RemoveFile(WalFileName(number));
   }
 
-  std::lock_guard<std::mutex> lock(wal_mu_);
+  MutexLock lock(wal_mu_);
   return OpenWalLocked(wal_numbers.empty() ? 1 : wal_numbers.back() + 1);
 }
 

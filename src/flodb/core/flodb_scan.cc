@@ -107,7 +107,7 @@ bool FloDB::ScanPass(const Slice& start, const Slice& high_key, size_t limit, ui
 Status FloDB::FallbackPass(const Slice& start, const Slice& high_key, size_t limit,
                            bool exclusive_start, std::vector<ScanEntry>* out) {
   fallback_scans_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> master(master_mu_);
+  MutexLock master(master_mu_);
   pause_writers_.store(true, std::memory_order_seq_cst);
   pause_draining_.store(true, std::memory_order_seq_cst);
   // In-flight Memtable writes complete; afterwards the Memtable is frozen
@@ -123,7 +123,7 @@ Status FloDB::FallbackPass(const Slice& start, const Slice& high_key, size_t lim
 
 void FloDB::EstablishMasterSeq(uint64_t* seq) {
   {
-    std::lock_guard<std::mutex> master(master_mu_);
+    MutexLock master(master_mu_);
     pause_draining_.store(true, std::memory_order_seq_cst);
     pause_writers_.store(true, std::memory_order_seq_cst);
     MemBuffer* old = SwapAndDrainMembufferLocked();
@@ -131,13 +131,13 @@ void FloDB::EstablishMasterSeq(uint64_t* seq) {
     pause_writers_.store(false, std::memory_order_seq_cst);
     pause_draining_.store(false, std::memory_order_seq_cst);
     {
-      std::lock_guard<std::mutex> lock(scan_mu_);
+      MutexLock lock(scan_mu_);
       published_seq_ = *seq;
       published_valid_ = true;
       chain_len_ = 0;
       reuse_count_ = 0;
     }
-    scan_cv_.notify_all();
+    scan_cv_.SignalAll();
     CleanupImmMembuffer(old);
   }
 }
@@ -145,7 +145,7 @@ void FloDB::EstablishMasterSeq(uint64_t* seq) {
 FloDB::ScanTicket FloDB::BeginScan(SnapshotMode mode) {
   ScanTicket ticket;
   {
-    std::unique_lock<std::mutex> lock(scan_mu_);
+    MutexLock lock(scan_mu_);
     while (true) {
       if (mode != SnapshotMode::kMaster && published_valid_) {
         // Piggyback: another scan is running and its chain has budget.
@@ -176,7 +176,7 @@ FloDB::ScanTicket FloDB::BeginScan(SnapshotMode mode) {
         master_scans_.fetch_add(1, std::memory_order_relaxed);
         break;
       }
-      scan_cv_.wait(lock);
+      scan_cv_.Wait(scan_mu_);
     }
   }
   EstablishMasterSeq(&ticket.seq);
@@ -185,7 +185,7 @@ FloDB::ScanTicket FloDB::BeginScan(SnapshotMode mode) {
 
 void FloDB::EndScan(const ScanTicket& ticket) {
   {
-    std::lock_guard<std::mutex> lock(scan_mu_);
+    MutexLock lock(scan_mu_);
     --running_scans_;
     if (ticket.is_master) {
       master_busy_ = false;
@@ -196,7 +196,7 @@ void FloDB::EndScan(const ScanTicket& ticket) {
       published_valid_ = false;
     }
   }
-  scan_cv_.notify_all();
+  scan_cv_.SignalAll();
 }
 
 // The streaming cursor over the master/piggyback machinery. One election

@@ -38,14 +38,12 @@
 #define FLODB_CORE_SHARDED_STORE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "flodb/common/synchronization.h"
 #include "flodb/core/flodb.h"
 #include "flodb/core/kv_store.h"
 #include "flodb/core/options.h"
@@ -130,7 +128,7 @@ class ShardedKVStore final : public KVStore {
   // group-commit leader queue — the PR 5 WalCommit pattern: the queue
   // front appends every queued marker and issues ONE Sync covering the
   // group's sync writers.
-  Status CommitMarker(uint64_t txn_id, bool sync);
+  Status CommitMarker(uint64_t txn_id, bool sync) EXCLUDES(txn_log_mu_);
 
   // One queued CommitMarker awaiting the leader; lives on the caller's
   // stack.
@@ -156,17 +154,22 @@ class ShardedKVStore final : public KVStore {
   // protects the queue, the writer and txn_log_status_; the leader drops
   // the mutex for the Append+Sync phase (queue front keeps arrivals
   // followers).
-  std::mutex txn_log_mu_;
-  std::condition_variable txn_log_cv_;
-  std::deque<TxnMarkerWaiter*> txn_log_queue_;
-  std::unique_ptr<WalWriter> txn_log_;
-  Status txn_log_status_;  // non-OK: marker log broken, atomic writes fail
+  Mutex txn_log_mu_;
+  CondVar txn_log_cv_;
+  std::deque<TxnMarkerWaiter*> txn_log_queue_ GUARDED_BY(txn_log_mu_);
+  // Written once by Open (single-threaded) and read by the destructor;
+  // the leader reads the pointer under txn_log_mu_ but performs IO on it
+  // unlocked — the queue front keeps every arrival a follower, so only
+  // one thread touches the writer at a time.
+  std::unique_ptr<WalWriter> txn_log_ GUARDED_BY(txn_log_mu_);
+  // non-OK: marker log broken, atomic writes fail
+  Status txn_log_status_ GUARDED_BY(txn_log_mu_);
 
   // The snapshot fence: the apply phase of a cross-shard commit holds it
   // shared for the whole multi-shard apply; a consistent merged scan
   // holds it unique while opening every shard cursor (each fetches its
   // first chunk inside), so no cursor set can observe half a batch.
-  mutable std::shared_mutex txn_apply_gate_;
+  mutable SharedMutex txn_apply_gate_;
 
   mutable std::atomic<uint64_t> cross_shard_writes_{0};
   mutable std::atomic<uint64_t> txn_commits_{0};

@@ -106,22 +106,26 @@ CompactionThreadLimiter::CompactionThreadLimiter(int max_concurrent)
     : max_(std::max(1, max_concurrent)) {}
 
 void CompactionThreadLimiter::Acquire() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return in_use_ < max_; });
+  MutexLock lock(mu_);
+  // Explicit loop: the predicate reads guarded state (in_use_), so it
+  // must run in this annotated scope rather than inside a lambda.
+  while (in_use_ >= max_) {
+    cv_.Wait(mu_);
+  }
   ++in_use_;
 }
 
 void CompactionThreadLimiter::Release() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     assert(in_use_ > 0);
     --in_use_;
   }
-  cv_.notify_one();
+  cv_.Signal();
 }
 
 int CompactionThreadLimiter::InUse() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return in_use_;
 }
 

@@ -16,12 +16,11 @@
 #ifndef FLODB_DISK_COMPACTION_H_
 #define FLODB_DISK_COMPACTION_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "flodb/common/synchronization.h"
 #include "flodb/disk/version.h"
 
 namespace flodb {
@@ -85,17 +84,17 @@ class CompactionThreadLimiter {
  public:
   explicit CompactionThreadLimiter(int max_concurrent);
 
-  void Acquire();
-  void Release();
+  void Acquire() EXCLUDES(mu_);
+  void Release() EXCLUDES(mu_);
 
   int max_concurrent() const { return max_; }
-  int InUse() const;
+  int InUse() const EXCLUDES(mu_);
 
  private:
   const int max_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int in_use_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  int in_use_ GUARDED_BY(mu_) = 0;
 };
 
 // Bloom bits per key for a level. A non-empty `per_level` vector is

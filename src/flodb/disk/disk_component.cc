@@ -35,13 +35,13 @@ DiskComponent::DiskComponent(const DiskOptions& options)
 // RAII registration of an output file number in pending_outputs_.
 struct DiskComponent::PendingOutput {
   PendingOutput(DiskComponent* dc, uint64_t number) : dc_(dc), number_(number) {
-    std::lock_guard<std::mutex> lock(dc_->pending_mu_);
+    MutexLock lock(dc_->pending_mu_);
     dc_->pending_outputs_.insert(number_);
   }
   ~PendingOutput() { Release(); }
   void Release() {
     if (dc_ != nullptr) {
-      std::lock_guard<std::mutex> lock(dc_->pending_mu_);
+      MutexLock lock(dc_->pending_mu_);
       dc_->pending_outputs_.erase(number_);
       dc_ = nullptr;
     }
@@ -125,7 +125,7 @@ Status DiskComponent::Open(const DiskOptions& options, std::unique_ptr<DiskCompo
           // Shield the number from a sweep racing the creation→register
           // window (same pending-outputs discipline as .sst outputs).
           const uint64_t number = raw->versions_->NewFileNumber();
-          std::lock_guard<std::mutex> lock(raw->pending_mu_);
+          MutexLock lock(raw->pending_mu_);
           raw->pending_outputs_.insert(number);
           return number;
         },
@@ -133,7 +133,7 @@ Status DiskComponent::Open(const DiskOptions& options, std::unique_ptr<DiskCompo
           VersionEdit edit;
           edit.added_vlogs.push_back(number);
           Status status = raw->versions_->LogAndApply(edit);
-          std::lock_guard<std::mutex> lock(raw->pending_mu_);
+          MutexLock lock(raw->pending_mu_);
           raw->pending_outputs_.erase(number);
           return status;
         });
@@ -164,10 +164,10 @@ Status DiskComponent::Open(const DiskOptions& options, std::unique_ptr<DiskCompo
 
 DiskComponent::~DiskComponent() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (std::thread& t : workers_) {
     t.join();
   }
@@ -227,12 +227,13 @@ Status DiskComponent::AddRun(Iterator* iter) {
   // level-0 stop trigger. (The persist thread calling us is the "writer"
   // here; user writers block on Memtable room upstream.)
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [&] {
-      return stop_ ||
-             static_cast<int>(versions_->Current()->LevelFiles(0).size()) <
-                 options_.l0_stall_trigger;
-    });
+    MutexLock lock(mu_);
+    // Explicit loop: the predicate reads guarded state (stop_), so it
+    // must run in this annotated scope rather than inside a lambda.
+    while (!stop_ && static_cast<int>(versions_->Current()->LevelFiles(0).size()) >=
+                         options_.l0_stall_trigger) {
+      idle_cv_.Wait(mu_);
+    }
     if (stop_) {
       return Status::Aborted("shutting down");
     }
@@ -324,7 +325,7 @@ Status DiskComponent::AddRun(Iterator* iter) {
   // fold one flush early — a bounded, benign over-count on crash.)
   std::map<uint64_t, uint64_t> staged;
   {
-    std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+    MutexLock lock(reported_garbage_mu_);
     staged.swap(reported_garbage_);
   }
   for (const auto& [vlog_number, bytes] : staged) {
@@ -340,7 +341,7 @@ Status DiskComponent::AddRun(Iterator* iter) {
   if (!s.ok()) {
     // Re-stage so the observed garbage is not lost; a later flush or the
     // live GC picker still sees it.
-    std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+    MutexLock lock(reported_garbage_mu_);
     for (const auto& [vlog_number, bytes] : staged) {
       reported_garbage_[vlog_number] += bytes;
     }
@@ -348,7 +349,7 @@ Status DiskComponent::AddRun(Iterator* iter) {
   }
   bytes_flushed_.fetch_add(builder.FileSize(), std::memory_order_relaxed);
   flushes_.fetch_add(1, std::memory_order_relaxed);
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   return Status::OK();
 }
 
@@ -463,6 +464,7 @@ std::unique_ptr<Iterator> DiskComponent::NewIterator() const {
 }
 
 bool DiskComponent::PickCompactionLocked(CompactionJob* job) {
+  mu_.AssertHeld();
   std::shared_ptr<const Version> v = versions_->Current();
   if (!picker_.Pick(*v, level_busy_, job)) {
     return false;
@@ -649,7 +651,7 @@ void DiskComponent::RemoveObsoleteFiles() {
   std::set<uint64_t> live = versions_->AllLiveFileNumbers();
   std::set<uint64_t> live_vlogs = versions_->AllLiveVlogNumbers();
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     live.insert(pending_outputs_.begin(), pending_outputs_.end());
     live_vlogs.insert(pending_outputs_.begin(), pending_outputs_.end());
   }
@@ -694,17 +696,21 @@ void DiskComponent::RemoveObsoleteFiles() {
 }
 
 void DiskComponent::BackgroundWork() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Explicit lock()/unlock() pairing (not MutexLock): each iteration
+  // drops mu_ around the merge I/O, and the analysis checks the manual
+  // pairing on every branch.
+  mu_.lock();
   while (true) {
     CompactionJob job;
     while (!stop_ && !PickCompactionLocked(&job)) {
-      work_cv_.wait(lock);
+      work_cv_.Wait(mu_);
     }
     if (stop_) {
+      mu_.unlock();
       return;
     }
     ++active_compactions_;
-    lock.unlock();
+    mu_.unlock();
     // The cross-shard bound is taken OUTSIDE mu_ (blocking with the
     // scheduling lock held would freeze AddRun's stall check) and only
     // around the I/O: picking is cheap, merging is not.
@@ -721,12 +727,12 @@ void DiskComponent::BackgroundWork() {
       // not melt into a busy loop.
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
-    lock.lock();
+    mu_.lock();
     --active_compactions_;
     level_busy_[job.level] = false;
     level_busy_[job.level + 1] = false;
-    idle_cv_.notify_all();
-    work_cv_.notify_all();  // follow-up compactions may now be possible
+    idle_cv_.SignalAll();
+    work_cv_.SignalAll();  // follow-up compactions may now be possible
   }
 }
 
@@ -735,12 +741,15 @@ void DiskComponent::WaitForCompactions() {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    work_cv_.notify_all();
-    idle_cv_.wait(lock, [&] {
-      return stop_ ||
-             (active_compactions_ == 0 && !picker_.NeedsCompaction(*versions_->Current()));
-    });
+    MutexLock lock(mu_);
+    work_cv_.SignalAll();
+    // Explicit loop: the predicate reads guarded state (stop_,
+    // active_compactions_, picker_), so it must run in this annotated
+    // scope rather than inside a lambda.
+    while (!stop_ &&
+           (active_compactions_ != 0 || picker_.NeedsCompaction(*versions_->Current()))) {
+      idle_cv_.Wait(mu_);
+    }
   }
   // Concurrent GC passes can leave a file obsoleted by the final
   // compaction on disk; a quiescent sweep reclaims it.
@@ -750,7 +759,7 @@ void DiskComponent::WaitForCompactions() {
 Status DiskComponent::CompactOnce(bool* did_work) {
   CompactionJob job;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!PickCompactionLocked(&job)) {
       if (did_work != nullptr) {
         *did_work = false;
@@ -761,12 +770,12 @@ Status DiskComponent::CompactOnce(bool* did_work) {
   }
   Status s = DoCompaction(job);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --active_compactions_;
     level_busy_[job.level] = false;
     level_busy_[job.level + 1] = false;
   }
-  idle_cv_.notify_all();
+  idle_cv_.SignalAll();
   if (did_work != nullptr) {
     *did_work = true;
   }
@@ -779,12 +788,15 @@ Status DiskComponent::RunManualCompaction(
   CompactionJob job;
   int out_level = -1;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Manual jobs are rare (tests, ops, vlog GC): the simple and correct
     // serialization is to wait out every running compaction, then build
     // the job against the then-current version with the lock held so no
-    // background pick can consume the same inputs.
-    idle_cv_.wait(lock, [&] { return stop_ || active_compactions_ == 0; });
+    // background pick can consume the same inputs. Explicit loop: the
+    // predicate reads guarded state.
+    while (!stop_ && active_compactions_ != 0) {
+      idle_cv_.Wait(mu_);
+    }
     if (stop_) {
       return Status::Aborted("shutting down");
     }
@@ -799,13 +811,13 @@ Status DiskComponent::RunManualCompaction(
   }
   Status s = DoCompaction(job);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --active_compactions_;
     level_busy_[job.level] = false;
     level_busy_[out_level] = false;
   }
-  idle_cv_.notify_all();
-  work_cv_.notify_all();
+  idle_cv_.SignalAll();
+  work_cv_.SignalAll();
   *did_work = true;
   return s;
 }
@@ -909,7 +921,7 @@ void DiskComponent::ReportVlogGarbage(const Slice& pointer_value) {
   if (!DecodeValuePointer(pointer_value, &ptr)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+  MutexLock lock(reported_garbage_mu_);
   reported_garbage_[ptr.file_number] += ptr.length;
 }
 
@@ -927,7 +939,7 @@ bool DiskComponent::PickVlogGcVictims(std::vector<uint64_t>* victims,
     }
     uint64_t staged = 0;
     {
-      std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+      MutexLock lock(reported_garbage_mu_);
       auto it = reported_garbage_.find(number);
       staged = it != reported_garbage_.end() ? it->second : 0;
     }
@@ -1026,7 +1038,7 @@ Status DiskComponent::CompactVlogFiles(const std::vector<uint64_t>& victims,
   {
     // The files are gone from the version; staged garbage for them is moot
     // (and must not fold into a later edit naming a dead file).
-    std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+    MutexLock lock(reported_garbage_mu_);
     for (uint64_t victim : victims) {
       reported_garbage_.erase(victim);
     }
@@ -1055,7 +1067,7 @@ DiskComponent::Stats DiskComponent::GetStats() const {
     ++stats.vlog_files;
     stats.vlog_garbage_bytes += garbage;
     {
-      std::lock_guard<std::mutex> lock(reported_garbage_mu_);
+      MutexLock lock(reported_garbage_mu_);
       auto it = reported_garbage_.find(number);
       if (it != reported_garbage_.end()) {
         stats.vlog_garbage_bytes += it->second;

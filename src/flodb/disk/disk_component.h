@@ -11,12 +11,10 @@
 #define FLODB_DISK_DISK_COMPONENT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -25,6 +23,7 @@
 #include "flodb/common/cache.h"
 #include "flodb/common/slice.h"
 #include "flodb/common/status.h"
+#include "flodb/common/synchronization.h"
 #include "flodb/disk/compaction.h"
 #include "flodb/disk/env.h"
 #include "flodb/disk/iterator.h"
@@ -240,9 +239,9 @@ class DiskComponent {
     return BloomBitsForLevel(options_.bloom_bits_per_level, options_.bloom_bits_per_key, level);
   }
 
-  // REQUIRES: mu_ held. Returns true, fills *job and marks both job
-  // levels busy if work is available.
-  bool PickCompactionLocked(CompactionJob* job);
+  // Returns true, fills *job and marks both job levels busy if work is
+  // available.
+  bool PickCompactionLocked(CompactionJob* job) REQUIRES(mu_);
   Status DoCompaction(const CompactionJob& job);
   // Runs a manual job synchronously. Waits for every background
   // compaction to finish, then calls `build` under the scheduling mutex
@@ -268,25 +267,26 @@ class DiskComponent {
   // GC must skip them — without this, RemoveObsoleteFiles racing with a
   // flush/compaction would unlink a file between its creation and its
   // LogAndApply (the classic pending-outputs race).
-  std::mutex pending_mu_;
-  std::set<uint64_t> pending_outputs_;
+  Mutex pending_mu_;
+  std::set<uint64_t> pending_outputs_ GUARDED_BY(pending_mu_);
 
   // Vlog garbage observed in the memory component (ReportVlogGarbage),
   // staged until the next successful flush folds it into that flush's
   // VersionEdit. The GC picker and stats read it live so idle periods
   // still see the garbage.
-  mutable std::mutex reported_garbage_mu_;
-  std::map<uint64_t, uint64_t> reported_garbage_;  // vlog number -> bytes
+  mutable Mutex reported_garbage_mu_;
+  // vlog number -> bytes
+  std::map<uint64_t, uint64_t> reported_garbage_ GUARDED_BY(reported_garbage_mu_);
 
   struct PendingOutput;
 
-  mutable std::mutex mu_;  // guards compaction scheduling state below
-  std::condition_variable work_cv_;   // new work available
-  std::condition_variable idle_cv_;   // compaction finished / L0 shrank
-  std::vector<bool> level_busy_;
-  CompactionPicker picker_;  // cursors guarded by mu_
-  int active_compactions_ = 0;
-  bool stop_ = false;
+  mutable Mutex mu_;  // guards compaction scheduling state below
+  CondVar work_cv_;   // new work available
+  CondVar idle_cv_;   // compaction finished / L0 shrank
+  std::vector<bool> level_busy_ GUARDED_BY(mu_);
+  CompactionPicker picker_ GUARDED_BY(mu_);  // its round-robin cursors mutate under mu_
+  int active_compactions_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 
   // Stats (relaxed counters).

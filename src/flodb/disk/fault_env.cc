@@ -18,7 +18,7 @@ class FaultInjectionWritableFile final : public WritableFile {
   Status Append(const Slice& data) override {
     size_t allowed = data.size();
     {
-      std::lock_guard<std::mutex> lock(env_->mu_);
+      MutexLock lock(env_->mu_);
       ++env_->append_count_;
       const bool matches = env_->fail_append_substr_.empty() ||
                            fname_.find(env_->fail_append_substr_) != std::string::npos;
@@ -40,7 +40,7 @@ class FaultInjectionWritableFile final : public WritableFile {
       if (allowed > 0) {
         Status s = base_->Append(Slice(data.data(), allowed));
         if (s.ok()) {
-          std::lock_guard<std::mutex> lock(env_->mu_);
+          MutexLock lock(env_->mu_);
           env_->files_[fname_].size += allowed;
         }
       }
@@ -48,7 +48,7 @@ class FaultInjectionWritableFile final : public WritableFile {
     }
     Status s = base_->Append(data);
     if (s.ok()) {
-      std::lock_guard<std::mutex> lock(env_->mu_);
+      MutexLock lock(env_->mu_);
       env_->files_[fname_].size += data.size();
     }
     return s;
@@ -60,7 +60,7 @@ class FaultInjectionWritableFile final : public WritableFile {
     int delay_micros;
     uint64_t size_at_sync;
     {
-      std::lock_guard<std::mutex> lock(env_->mu_);
+      MutexLock lock(env_->mu_);
       ++env_->sync_count_;
       delay_micros = env_->sync_delay_micros_;
       if (env_->fail_syncs_) {
@@ -76,7 +76,7 @@ class FaultInjectionWritableFile final : public WritableFile {
     }
     Status s = base_->Sync();
     if (s.ok()) {
-      std::lock_guard<std::mutex> lock(env_->mu_);
+      MutexLock lock(env_->mu_);
       FaultInjectionEnv::FileState& state = env_->files_[fname_];
       state.synced = std::max(state.synced, size_at_sync);
     }
@@ -94,7 +94,7 @@ class FaultInjectionWritableFile final : public WritableFile {
 Status FaultInjectionEnv::NewWritableFile(const std::string& fname,
                                           std::unique_ptr<WritableFile>* result) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (fail_new_writable_ && (fail_new_writable_substr_.empty() ||
                                fname.find(fail_new_writable_substr_) != std::string::npos)) {
       return Status::IOError("injected NewWritableFile failure: " + fname);
@@ -108,7 +108,7 @@ Status FaultInjectionEnv::NewWritableFile(const std::string& fname,
   {
     // Creation truncates, so tracking restarts at zero; nothing of this
     // file is durable until its first Sync.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     files_[fname] = FileState{};
   }
   *result = std::make_unique<FaultInjectionWritableFile>(this, fname, std::move(base_file));
@@ -118,7 +118,7 @@ Status FaultInjectionEnv::NewWritableFile(const std::string& fname,
 Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
   Status s = base_->RemoveFile(fname);
   if (s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     files_.erase(fname);
   }
   return s;
@@ -127,7 +127,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
 Status FaultInjectionEnv::RenameFile(const std::string& src, const std::string& target) {
   Status s = base_->RenameFile(src, target);
   if (s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = files_.find(src);
     if (it != files_.end()) {
       files_[target] = it->second;
@@ -140,7 +140,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& src, const std::string& 
 Status FaultInjectionEnv::DropUnsyncedFileData() {
   std::map<std::string, FileState> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot = files_;
   }
   for (auto& [fname, state] : snapshot) {
@@ -151,7 +151,7 @@ Status FaultInjectionEnv::DropUnsyncedFileData() {
       // Never synced since creation: after a power cut the file may not
       // exist at all — model the worst case.
       base_->RemoveFile(fname);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       files_.erase(fname);
       continue;
     }
@@ -167,7 +167,7 @@ Status FaultInjectionEnv::DropUnsyncedFileData() {
     if (!s.ok()) {
       return s;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     files_[fname].size = state.synced;
     files_[fname].synced = state.synced;
   }
@@ -175,13 +175,13 @@ Status FaultInjectionEnv::DropUnsyncedFileData() {
 }
 
 void FaultInjectionEnv::FailNewWritableFiles(bool enabled, const std::string& substr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fail_new_writable_ = enabled;
   fail_new_writable_substr_ = substr;
 }
 
 void FaultInjectionEnv::FailAppendAfter(uint64_t n, bool torn, const std::string& substr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   appends_until_fail_ = static_cast<int64_t>(n);
   fail_append_substr_ = substr;
   torn_append_ = torn;
@@ -189,17 +189,17 @@ void FaultInjectionEnv::FailAppendAfter(uint64_t n, bool torn, const std::string
 }
 
 void FaultInjectionEnv::FailSyncs(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fail_syncs_ = enabled;
 }
 
 void FaultInjectionEnv::SetSyncDelayMicros(int micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sync_delay_micros_ = micros;
 }
 
 void FaultInjectionEnv::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fail_new_writable_ = false;
   fail_new_writable_substr_.clear();
   appends_until_fail_ = -1;
@@ -210,12 +210,12 @@ void FaultInjectionEnv::ClearFaults() {
 }
 
 uint64_t FaultInjectionEnv::sync_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sync_count_;
 }
 
 uint64_t FaultInjectionEnv::append_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return append_count_;
 }
 

@@ -24,10 +24,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "flodb/common/synchronization.h"
 #include "flodb/disk/env.h"
 
 namespace flodb {
@@ -102,19 +102,22 @@ class FaultInjectionEnv final : public Env {
   };
 
   Env* const base_;
-  mutable std::mutex mu_;
-  std::map<std::string, FileState> files_;
+  mutable Mutex mu_;
+  std::map<std::string, FileState> files_ GUARDED_BY(mu_);
 
-  bool fail_new_writable_ = false;
-  std::string fail_new_writable_substr_;
-  int64_t appends_until_fail_ = -1;  // -1 = disabled; 0 = next append fires
-  std::string fail_append_substr_;   // non-empty: only matching paths count
-  bool torn_append_ = false;
-  bool appends_broken_ = false;  // latched once the Nth append fired
-  bool fail_syncs_ = false;
-  int sync_delay_micros_ = 0;
-  uint64_t sync_count_ = 0;
-  uint64_t append_count_ = 0;
+  bool fail_new_writable_ GUARDED_BY(mu_) = false;
+  std::string fail_new_writable_substr_ GUARDED_BY(mu_);
+  // -1 = disabled; 0 = next append fires
+  int64_t appends_until_fail_ GUARDED_BY(mu_) = -1;
+  // non-empty: only matching paths count
+  std::string fail_append_substr_ GUARDED_BY(mu_);
+  bool torn_append_ GUARDED_BY(mu_) = false;
+  // latched once the Nth append fired
+  bool appends_broken_ GUARDED_BY(mu_) = false;
+  bool fail_syncs_ GUARDED_BY(mu_) = false;
+  int sync_delay_micros_ GUARDED_BY(mu_) = 0;
+  uint64_t sync_count_ GUARDED_BY(mu_) = 0;
+  uint64_t append_count_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace flodb

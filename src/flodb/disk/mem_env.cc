@@ -75,7 +75,7 @@ class MemWritableFile final : public WritableFile {
 
 Status MemEnv::NewSequentialFile(const std::string& fname,
                                  std::unique_ptr<SequentialFile>* result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) {
     return Status::NotFound(fname);
@@ -86,7 +86,7 @@ Status MemEnv::NewSequentialFile(const std::string& fname,
 
 Status MemEnv::NewRandomAccessFile(const std::string& fname,
                                    std::unique_ptr<RandomAccessFile>* result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) {
     return Status::NotFound(fname);
@@ -97,7 +97,7 @@ Status MemEnv::NewRandomAccessFile(const std::string& fname,
 
 Status MemEnv::NewWritableFile(const std::string& fname,
                                std::unique_ptr<WritableFile>* result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto file = std::make_shared<std::string>();
   files_[fname] = file;
   result->reset(new MemWritableFile(std::move(file)));
@@ -105,7 +105,7 @@ Status MemEnv::NewWritableFile(const std::string& fname,
 }
 
 bool MemEnv::FileExists(const std::string& fname) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return files_.count(fname) != 0;
 }
 
@@ -115,7 +115,7 @@ Status MemEnv::GetChildren(const std::string& dir, std::vector<std::string>* res
   if (!prefix.empty() && prefix.back() != '/') {
     prefix += '/';
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, data] : files_) {
     if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
       std::string child = name.substr(prefix.size());
@@ -128,7 +128,7 @@ Status MemEnv::GetChildren(const std::string& dir, std::vector<std::string>* res
 }
 
 Status MemEnv::RemoveFile(const std::string& fname) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (files_.erase(fname) == 0) {
     return Status::NotFound(fname);
   }
@@ -138,7 +138,7 @@ Status MemEnv::RemoveFile(const std::string& fname) {
 Status MemEnv::CreateDir(const std::string& /*dirname*/) { return Status::OK(); }
 
 Status MemEnv::GetFileSize(const std::string& fname, uint64_t* file_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) {
     *file_size = 0;
@@ -149,7 +149,7 @@ Status MemEnv::GetFileSize(const std::string& fname, uint64_t* file_size) {
 }
 
 Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(src);
   if (it == files_.end()) {
     return Status::NotFound(src);
@@ -160,7 +160,7 @@ Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
 }
 
 uint64_t MemEnv::TotalBytes() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [name, data] : files_) {
     total += data->size();

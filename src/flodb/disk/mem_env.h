@@ -9,9 +9,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "flodb/common/synchronization.h"
 #include "flodb/disk/env.h"
 
 namespace flodb {
@@ -40,8 +40,8 @@ class MemEnv final : public Env {
  private:
   using FileRef = std::shared_ptr<std::string>;
 
-  std::mutex mu_;
-  std::map<std::string, FileRef> files_;
+  Mutex mu_;
+  std::map<std::string, FileRef> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace flodb

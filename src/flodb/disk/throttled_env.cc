@@ -17,7 +17,10 @@ void TokenBucket::Consume(uint64_t n) {
     consumed_.fetch_add(n, std::memory_order_relaxed);
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  // Explicit lock()/unlock() pairing (not MutexLock): the refill loop
+  // drops the mutex around its sleep, and the analysis checks the manual
+  // pairing on every branch.
+  mu_.lock();
   while (true) {
     const uint64_t now = NowNanos();
     const double elapsed_sec = static_cast<double>(now - last_refill_nanos_) * 1e-9;
@@ -30,14 +33,15 @@ void TokenBucket::Consume(uint64_t n) {
     if (tokens_ >= static_cast<double>(n)) {
       tokens_ -= static_cast<double>(n);
       consumed_.fetch_add(n, std::memory_order_relaxed);
+      mu_.unlock();
       return;
     }
     // Sleep just long enough for the deficit to refill.
     const double deficit = static_cast<double>(n) - tokens_;
     const double wait_sec = deficit / static_cast<double>(rate_);
-    lock.unlock();
+    mu_.unlock();
     std::this_thread::sleep_for(std::chrono::duration<double>(wait_sec));
-    lock.lock();
+    mu_.lock();
   }
 }
 

@@ -13,8 +13,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "flodb/common/synchronization.h"
 #include "flodb/disk/env.h"
 
 namespace flodb {
@@ -32,9 +32,9 @@ class TokenBucket {
 
  private:
   const uint64_t rate_;
-  std::mutex mu_;
-  double tokens_ = 0;
-  uint64_t last_refill_nanos_ = 0;
+  Mutex mu_;
+  double tokens_ GUARDED_BY(mu_) = 0;
+  uint64_t last_refill_nanos_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> consumed_{0};
 };
 

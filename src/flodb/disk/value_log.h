@@ -32,15 +32,14 @@
 #define FLODB_DISK_VALUE_LOG_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "flodb/common/slice.h"
 #include "flodb/common/status.h"
+#include "flodb/common/synchronization.h"
 #include "flodb/disk/env.h"
 
 namespace flodb {
@@ -103,11 +102,12 @@ class ValueLog {
       const std::function<void(const Slice& key, const Slice& value, const ValuePointer& ptr)>& fn);
 
  private:
-  Status RotateLocked();
+  Status RotateLocked() REQUIRES(mu_);
   // Seals and drops the active writer after a failed Append/Flush left
   // its physical length unknown; the next Append opens a fresh file.
-  void RetireBrokenActiveLocked();
-  Status ReaderForLocked(uint64_t file_number, std::shared_ptr<RandomAccessFile>* reader);
+  void RetireBrokenActiveLocked() REQUIRES(mu_);
+  Status ReaderForLocked(uint64_t file_number, std::shared_ptr<RandomAccessFile>* reader)
+      REQUIRES(mu_);
   Status ReadRecord(RandomAccessFile* file, const ValuePointer& ptr, std::string* value);
 
   Env* const env_;
@@ -116,18 +116,18 @@ class ValueLog {
   const std::function<uint64_t()> alloc_number_;
   const std::function<Status(uint64_t)> register_file_;
 
-  std::mutex mu_;
-  std::condition_variable pin_cv_;
-  std::unique_ptr<WritableFile> active_;
-  uint64_t active_number_ = 0;
-  uint64_t active_size_ = 0;
-  bool dirty_ = false;  // active_ has appends not yet fsync'd
+  Mutex mu_;
+  CondVar pin_cv_;
+  std::unique_ptr<WritableFile> active_ GUARDED_BY(mu_);
+  uint64_t active_number_ GUARDED_BY(mu_) = 0;
+  uint64_t active_size_ GUARDED_BY(mu_) = 0;
+  bool dirty_ GUARDED_BY(mu_) = false;  // active_ has appends not yet fsync'd
   // Set when a broken active file was retired with unsynced records
   // still unsyncable; the next Sync() reports it so the covering group
   // commit fails instead of falsely acking durability.
-  Status sticky_sync_error_;
-  std::map<uint64_t, int> pins_;
-  std::map<uint64_t, std::shared_ptr<RandomAccessFile>> readers_;
+  Status sticky_sync_error_ GUARDED_BY(mu_);
+  std::map<uint64_t, int> pins_ GUARDED_BY(mu_);
+  std::map<uint64_t, std::shared_ptr<RandomAccessFile>> readers_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> bytes_appended_{0};
   std::atomic<uint64_t> records_appended_{0};

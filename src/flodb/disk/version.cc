@@ -64,6 +64,7 @@ VersionSet::VersionSet(Env* env, std::string dbname, int num_levels)
 }
 
 void VersionSet::RegisterVersionLocked(const std::shared_ptr<const Version>& v) {
+  mu_.AssertHeld();
   registry_.erase(std::remove_if(registry_.begin(), registry_.end(),
                                  [](const std::weak_ptr<const Version>& w) { return w.expired(); }),
                   registry_.end());
@@ -77,7 +78,7 @@ std::string VersionSet::TableFileName(uint64_t number) const {
 }
 
 std::shared_ptr<const Version> VersionSet::Current() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_;
 }
 
@@ -87,7 +88,7 @@ Status VersionSet::Recover() {
   Status s = ReadFileToString(env_, CurrentFileName(dbname_), &current_contents);
   if (!s.ok()) {
     // Fresh database: persist an empty snapshot so CURRENT exists.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return WriteSnapshot(*current_);
   }
   // Strip trailing newline.
@@ -111,7 +112,7 @@ Status VersionSet::Recover() {
   if (!s.ok()) {
     return s;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   manifest_number_ = live_manifest;
   current_manifest_number_ = live_manifest;
   current_ = std::move(v);
@@ -132,6 +133,7 @@ Status VersionSet::Recover() {
 //                                       | n x fixed64 vlog_number)
 //   fixed32 masked crc of everything above
 Status VersionSet::WriteSnapshot(const Version& v) {
+  mu_.AssertHeld();
   std::string data;
   PutFixed64(&data, next_file_number_.load(std::memory_order_relaxed));
   PutFixed32(&data, static_cast<uint32_t>(num_levels_));
@@ -332,7 +334,7 @@ Status VersionSet::LoadSnapshot(const std::string& manifest_file, std::shared_pt
 }
 
 Status VersionSet::LogAndApply(const VersionEdit& edit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto next = std::make_shared<Version>(num_levels_);
   next->levels_ = current_->levels_;
   next->vlogs_ = current_->vlogs_;
@@ -381,12 +383,12 @@ Status VersionSet::LogAndApply(const VersionEdit& edit) {
 }
 
 uint64_t VersionSet::CurrentManifestNumber() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_manifest_number_;
 }
 
 uint64_t VersionSet::MaxPersistedSeq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t max_seq = 0;
   for (int level = 0; level < num_levels_; ++level) {
     for (const FileMetaData& f : current_->LevelFiles(level)) {
@@ -399,7 +401,7 @@ uint64_t VersionSet::MaxPersistedSeq() const {
 }
 
 std::set<uint64_t> VersionSet::LiveFileNumbers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::set<uint64_t> live;
   for (int level = 0; level < num_levels_; ++level) {
     for (const FileMetaData& f : current_->LevelFiles(level)) {
@@ -410,7 +412,7 @@ std::set<uint64_t> VersionSet::LiveFileNumbers() const {
 }
 
 std::set<uint64_t> VersionSet::AllLiveFileNumbers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::set<uint64_t> live;
   for (const std::weak_ptr<const Version>& w : registry_) {
     std::shared_ptr<const Version> v = w.lock();
@@ -427,7 +429,7 @@ std::set<uint64_t> VersionSet::AllLiveFileNumbers() const {
 }
 
 std::set<uint64_t> VersionSet::AllLiveVlogNumbers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::set<uint64_t> live;
   for (const std::weak_ptr<const Version>& w : registry_) {
     std::shared_ptr<const Version> v = w.lock();

@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "flodb/common/slice.h"
+#include "flodb/common/synchronization.h"
 #include "flodb/common/status.h"
 #include "flodb/disk/env.h"
 
@@ -158,23 +158,27 @@ class VersionSet {
   uint64_t CurrentManifestNumber() const;
 
  private:
-  Status WriteSnapshot(const Version& v);
+  // Persists `v` as a fresh manifest and repoints CURRENT. Bumps
+  // manifest_number_/current_manifest_number_, hence the lock.
+  Status WriteSnapshot(const Version& v) REQUIRES(mu_);
   Status LoadSnapshot(const std::string& manifest_file, std::shared_ptr<Version>* out);
 
   Env* const env_;
   const std::string dbname_;
   const int num_levels_;
 
-  // REQUIRES mu_ held. Registers a version for AllLiveFileNumbers and
-  // prunes expired entries.
-  void RegisterVersionLocked(const std::shared_ptr<const Version>& v);
+  // Registers a version for AllLiveFileNumbers and prunes expired
+  // entries.
+  void RegisterVersionLocked(const std::shared_ptr<const Version>& v) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::shared_ptr<const Version> current_;
-  std::vector<std::weak_ptr<const Version>> registry_;
+  mutable Mutex mu_;
+  std::shared_ptr<const Version> current_ GUARDED_BY(mu_);
+  std::vector<std::weak_ptr<const Version>> registry_ GUARDED_BY(mu_);
   std::atomic<uint64_t> next_file_number_{1};
-  uint64_t manifest_number_ = 0;          // last number handed to a snapshot write
-  uint64_t current_manifest_number_ = 0;  // the one CURRENT points at
+  // last number handed to a snapshot write
+  uint64_t manifest_number_ GUARDED_BY(mu_) = 0;
+  // the one CURRENT points at
+  uint64_t current_manifest_number_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace flodb

@@ -68,7 +68,7 @@ uint64_t MemBuffer::BucketIndexFor(const Slice& key) const {
 
 MemBuffer::AddResult MemBuffer::Add(const Slice& key, const Slice& value, ValueType type) {
   Bucket& bucket = buckets_[BucketIndexFor(key)];
-  SpinLockGuard guard(bucket.lock);
+  SpinLockHolder guard(bucket.lock);
 
   int free_slot = -1;
   for (int i = 0; i < kSlotsPerBucket; ++i) {
@@ -130,7 +130,7 @@ MemBuffer::AddResult MemBuffer::Add(const Slice& key, const Slice& value, ValueT
 
 bool MemBuffer::Get(const Slice& key, std::string* value, ValueType* type) const {
   const Bucket& bucket = buckets_[BucketIndexFor(key)];
-  SpinLockGuard guard(bucket.lock);
+  SpinLockHolder guard(bucket.lock);
   for (const Slot& slot : bucket.slots) {
     if (slot.rec != nullptr && slot.rec->key() == key) {
       if (value != nullptr) {
@@ -152,7 +152,7 @@ size_t MemBuffer::CollectAndMark(uint64_t partition, size_t max_entries,
   size_t collected = 0;
   for (uint64_t b = begin; b < end && collected < max_entries; ++b) {
     Bucket& bucket = buckets_[b];
-    SpinLockGuard guard(bucket.lock);
+    SpinLockHolder guard(bucket.lock);
     for (int i = 0; i < kSlotsPerBucket && collected < max_entries; ++i) {
       Slot& slot = bucket.slots[i];
       const uint8_t bit = static_cast<uint8_t>(1u << i);
@@ -178,7 +178,7 @@ size_t MemBuffer::CollectAndMark(uint64_t partition, size_t max_entries,
 void MemBuffer::FinishDrain(const std::vector<DrainedEntry>& entries) {
   for (const DrainedEntry& e : entries) {
     Bucket& bucket = buckets_[e.bucket];
-    SpinLockGuard guard(bucket.lock);
+    SpinLockHolder guard(bucket.lock);
     Slot& slot = bucket.slots[e.slot];
     const uint8_t bit = static_cast<uint8_t>(1u << e.slot);
     bucket.marked_mask &= static_cast<uint8_t>(~bit);
@@ -209,7 +209,7 @@ bool MemBuffer::ClaimBucketRange(size_t chunk, uint64_t* begin, uint64_t* end) {
 void MemBuffer::CollectRange(uint64_t begin, uint64_t end, std::vector<DrainedEntry>* out) const {
   for (uint64_t b = begin; b < end; ++b) {
     const Bucket& bucket = buckets_[b];
-    SpinLockGuard guard(bucket.lock);
+    SpinLockHolder guard(bucket.lock);
     for (int i = 0; i < kSlotsPerBucket; ++i) {
       const Slot& slot = bucket.slots[i];
       if (slot.rec == nullptr) {
@@ -231,7 +231,7 @@ void MemBuffer::ForEach(
     const std::function<void(const Slice& key, const Slice& value, ValueType type)>& fn) const {
   for (uint64_t b = 0; b < num_buckets_; ++b) {
     const Bucket& bucket = buckets_[b];
-    SpinLockGuard guard(bucket.lock);
+    SpinLockHolder guard(bucket.lock);
     for (const Slot& slot : bucket.slots) {
       if (slot.rec != nullptr) {
         fn(slot.rec->key(), slot.rec->value(), slot.rec->type);

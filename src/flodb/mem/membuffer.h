@@ -34,7 +34,7 @@
 #include "flodb/common/arena.h"
 #include "flodb/common/slice.h"
 #include "flodb/mem/entry.h"
-#include "flodb/sync/spinlock.h"
+#include "flodb/common/synchronization.h"
 
 namespace flodb {
 
@@ -154,7 +154,7 @@ class MemBuffer {
 
   struct alignas(64) Bucket {
     mutable SpinLock lock;
-    uint8_t marked_mask = 0;  // bit i set => slots[i] is being drained
+    uint8_t marked_mask GUARDED_BY(lock) = 0;  // bit i set => slots[i] is being drained
     // Bit i set => slots[i] is UNCHANGED since its in-flight drained
     // copy was taken (subset of marked_mask; cleared by the first
     // in-place update). Distinguishes "the old value is the copy in
@@ -162,8 +162,8 @@ class MemBuffer {
     // value exists nowhere else" (charge it here) — without it, a
     // second overwrite during one drain window would leak its
     // predecessor's vlog record.
-    uint8_t fresh_mask = 0;
-    Slot slots[kSlotsPerBucket];
+    uint8_t fresh_mask GUARDED_BY(lock) = 0;
+    Slot slots[kSlotsPerBucket] GUARDED_BY(lock);
   };
 
   Record* MakeRecord(const Slice& key, const Slice& value, ValueType type);

@@ -73,9 +73,9 @@ struct Server::Worker {
   int wake_fd = -1;
   std::thread thread;
 
-  std::mutex mu;
-  std::vector<int> incoming;  // accepted fds awaiting registration
-  bool stop = false;
+  Mutex mu;
+  std::vector<int> incoming GUARDED_BY(mu);  // accepted fds awaiting registration
+  bool stop GUARDED_BY(mu) = false;
 
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
 };
@@ -222,7 +222,7 @@ void Server::AcceptorLoop() {
         stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
         Worker* w = workers_[next_worker++ % workers_.size()].get();
         {
-          std::lock_guard<std::mutex> lock(w->mu);
+          MutexLock lock(w->mu);
           w->incoming.push_back(fd);
         }
         uint64_t one64 = 1;
@@ -237,7 +237,7 @@ void Server::AcceptorLoop() {
 void Server::AdoptIncoming(Worker* worker) {
   std::vector<int> fds;
   {
-    std::lock_guard<std::mutex> lock(worker->mu);
+    MutexLock lock(worker->mu);
     fds.swap(worker->incoming);
   }
   for (int fd : fds) {
@@ -293,7 +293,7 @@ void Server::WorkerLoop(Worker* worker) {
     }
     bool stop;
     {
-      std::lock_guard<std::mutex> lock(worker->mu);
+      MutexLock lock(worker->mu);
       stop = worker->stop;
     }
     if (stop) {
@@ -684,7 +684,7 @@ void Server::DrainWorker(Worker* worker) {
   // Accepted-but-unregistered stragglers.
   std::vector<int> fds;
   {
-    std::lock_guard<std::mutex> lock(worker->mu);
+    MutexLock lock(worker->mu);
     fds.swap(worker->incoming);
   }
   for (int fd : fds) {
@@ -716,7 +716,7 @@ void Server::Shutdown() {
   // connections inside its loop thread, then exits).
   for (auto& worker : workers_) {
     {
-      std::lock_guard<std::mutex> lock(worker->mu);
+      MutexLock lock(worker->mu);
       worker->stop = true;
     }
     uint64_t one = 1;

@@ -29,12 +29,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "flodb/common/status.h"
+#include "flodb/common/synchronization.h"
 #include "flodb/core/kv_store.h"
 #include "flodb/net/resp.h"
 

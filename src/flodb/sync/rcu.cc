@@ -2,11 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "flodb/common/synchronization.h"
 #include "flodb/sync/backoff.h"
 
 #if defined(__SANITIZE_THREAD__)
@@ -24,7 +24,7 @@ namespace {
 // Registry of live Rcu instances, keyed by unique id. A thread releasing
 // its cached slots at exit must not touch an Rcu that has already been
 // destroyed; the registry makes release conditional on liveness.
-std::mutex g_registry_mu;
+Mutex g_registry_mu;
 std::unordered_set<uint64_t>& LiveSet() {
   static std::unordered_set<uint64_t>* live = new std::unordered_set<uint64_t>();
   return *live;
@@ -43,7 +43,7 @@ struct Rcu::ThreadState {
   std::vector<Entry> entries;
 
   ~ThreadState() {
-    std::lock_guard<std::mutex> lock(g_registry_mu);
+    MutexLock lock(g_registry_mu);
     for (const Entry& e : entries) {
       if (LiveSet().count(e.id) != 0) {
         e.slot->epoch.store(0, std::memory_order_release);
@@ -54,12 +54,12 @@ struct Rcu::ThreadState {
 };
 
 Rcu::Rcu() : id_(g_next_id.fetch_add(1, std::memory_order_relaxed)) {
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  MutexLock lock(g_registry_mu);
   LiveSet().insert(id_);
 }
 
 Rcu::~Rcu() {
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  MutexLock lock(g_registry_mu);
   LiveSet().erase(id_);
 }
 

@@ -1,4 +1,4 @@
-#include "flodb/sync/spinlock.h"
+#include "flodb/common/synchronization.h"
 
 #include <gtest/gtest.h>
 
@@ -34,7 +34,7 @@ TEST(SpinLockTest, MutualExclusionCounter) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < kIters; ++i) {
-        SpinLockGuard guard(lock);
+        SpinLockHolder guard(lock);
         ++counter;
       }
     });
