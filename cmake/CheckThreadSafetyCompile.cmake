@@ -1,0 +1,51 @@
+# Driver for the thread-safety negative-compile harness
+# (tests/negative_compile/). Compiles one snippet with the same
+# -Wthread-safety flags the lint-thread-safety CI job uses and asserts
+# the outcome:
+#
+#   EXPECT=fail — the compile must FAIL, and the diagnostics must
+#     mention thread-safety (a snippet that dies of an unrelated syntax
+#     error would otherwise pass vacuously);
+#   EXPECT=pass — the compile must succeed (the positive control that
+#     proves the harness itself still compiles correct code).
+#
+# Usage:
+#   cmake -DCOMPILER=<clang++> -DSNIPPET=<file.cc> -DINCLUDE_DIR=<src>
+#         -DEXPECT=fail|pass -P CheckThreadSafetyCompile.cmake
+
+foreach(var COMPILER SNIPPET INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "CheckThreadSafetyCompile: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only
+          -Wthread-safety -Wthread-safety-beta -Werror
+          -I${INCLUDE_DIR} ${SNIPPET}
+  RESULT_VARIABLE compile_rc
+  OUTPUT_VARIABLE compile_out
+  ERROR_VARIABLE compile_err)
+
+string(APPEND compile_out "${compile_err}")
+
+if(EXPECT STREQUAL "pass")
+  if(NOT compile_rc EQUAL 0)
+    message(FATAL_ERROR
+      "positive control failed to compile (rc=${compile_rc}):\n${compile_out}")
+  endif()
+elseif(EXPECT STREQUAL "fail")
+  if(compile_rc EQUAL 0)
+    message(FATAL_ERROR
+      "snippet compiled cleanly but MUST fail: ${SNIPPET}\n"
+      "the thread-safety analysis did not catch the violation")
+  endif()
+  # The failure has to come from the analysis, not a broken snippet.
+  if(NOT compile_out MATCHES "thread-safety|-Wthread-safety")
+    message(FATAL_ERROR
+      "snippet failed for a reason other than thread-safety:\n${compile_out}")
+  endif()
+  message(STATUS "rejected as expected: ${SNIPPET}")
+else()
+  message(FATAL_ERROR "CheckThreadSafetyCompile: EXPECT must be pass|fail")
+endif()

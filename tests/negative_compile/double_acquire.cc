@@ -1,0 +1,18 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: the scope acquires a
+// capability it already holds — a guaranteed self-deadlock on the
+// non-reentrant Mutex.
+
+#include "flodb/common/synchronization.h"
+
+namespace {
+
+flodb::Mutex mu;
+int value GUARDED_BY(mu) = 0;
+
+void DoubleAcquire() {
+  flodb::MutexLock lock(mu);
+  flodb::MutexLock again(mu);  // BUG: mu is already held by this scope
+  ++value;
+}
+
+}  // namespace

@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: value_ is GUARDED_BY
+// the mutex, and Increment touches it with the lock not held.
+
+#include "flodb/common/synchronization.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG: writing a guarded field without holding mu_
+  }
+
+  int Get() {
+    return value_;  // BUG: reading a guarded field without holding mu_
+  }
+
+ private:
+  flodb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter c;
+  c.Increment();
+  return c.Get();
+}
+
+}  // namespace

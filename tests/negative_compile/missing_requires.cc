@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: InsertLocked names its
+// precondition with REQUIRES(mu_), and Insert calls it without holding
+// the lock — the "helper silently assumes a caller-held lock" defect the
+// annotations exist to catch.
+
+#include "flodb/common/synchronization.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Insert() {
+    InsertLocked();  // BUG: calling a REQUIRES(mu_) helper lock-free
+  }
+
+ private:
+  void InsertLocked() REQUIRES(mu_) { ++size_; }
+
+  flodb::Mutex mu_;
+  int size_ GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Registry r;
+  r.Insert();
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+// MUST COMPILE CLEANLY under -Wthread-safety -Wthread-safety-beta
+// -Werror: a correctly annotated use of the whole wrapper surface
+// (scoped holds, REQUIRES helpers, external-mutex CondVar waits, shared
+// holds, manual lock()/unlock() pairing). If this snippet fails, the
+// harness itself is broken and the must-fail results above are
+// meaningless.
+
+#include "flodb/common/synchronization.h"
+
+namespace {
+
+class Correct {
+ public:
+  void Add() {
+    flodb::MutexLock lock(mu_);
+    AddLocked();
+    while (value_ > kLimit) {
+      cv_.Wait(mu_);
+    }
+  }
+
+  // Manual pairing: release mid-scope around slow work, per-branch.
+  void AddSlow() {
+    mu_.lock();
+    if (value_ > kLimit) {
+      mu_.unlock();
+      return;
+    }
+    ++value_;
+    mu_.unlock();
+  }
+
+  int Snapshot() const {
+    flodb::ReaderMutexLock lock(rw_);
+    return cached_;
+  }
+
+  void Publish(int v) {
+    flodb::WriterMutexLock lock(rw_);
+    cached_ = v;
+  }
+
+ private:
+  static constexpr int kLimit = 100;
+
+  void AddLocked() REQUIRES(mu_) { ++value_; }
+
+  flodb::Mutex mu_;
+  flodb::CondVar cv_;
+  int value_ GUARDED_BY(mu_) = 0;
+
+  mutable flodb::SharedMutex rw_;
+  int cached_ GUARDED_BY(rw_) = 0;
+};
+
+int Use() {
+  Correct c;
+  c.Add();
+  c.AddSlow();
+  c.Publish(1);
+  return c.Snapshot();
+}
+
+}  // namespace
